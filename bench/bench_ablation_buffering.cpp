@@ -1,0 +1,92 @@
+// Complementarity study: van Ginneken buffering of the most critical nets
+// vs TSteiner Steiner-point refinement vs both. Buffering edits the netlist
+// (stronger, costs cells); TSteiner only moves auxiliary points (free).
+#include "bench_common.hpp"
+
+#include <set>
+
+#include "opt/buffering.hpp"
+
+using namespace tsteiner;
+using namespace tsteiner::bench;
+
+namespace {
+
+/// Buffer the K most critical nets of the design in place; returns the
+/// number of buffers inserted. The flow must be rebuilt afterwards.
+int buffer_critical_nets(Design& design, const SteinerForest& forest,
+                         const std::vector<double>& arrival, int top_k) {
+  // Rank nets by their worst-sink arrival.
+  std::vector<std::pair<double, int>> ranked;
+  for (const Net& n : design.nets()) {
+    double worst = 0.0;
+    for (int s : n.sink_pins) worst = std::max(worst, arrival[static_cast<std::size_t>(s)]);
+    ranked.push_back({-worst, n.id});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  int inserted = 0;
+  for (int k = 0; k < top_k && k < static_cast<int>(ranked.size()); ++k) {
+    const int net = ranked[static_cast<std::size_t>(k)].second;
+    const int t = forest.net_to_tree[static_cast<std::size_t>(net)];
+    if (t < 0) continue;
+    const SteinerTree& tree = forest.trees[static_cast<std::size_t>(t)];
+    const BufferingPlan plan = plan_buffering(design, tree);
+    if (plan.buffers.empty()) continue;
+    inserted += static_cast<int>(apply_buffering(design, plan, tree).size());
+  }
+  return inserted;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = env_scale(0.25);
+  std::printf("== Extension: buffering vs TSteiner on des (scale %.2f) ==\n\n", scale);
+  SingleDesignSetup s = prepare_single("des", scale, env_epochs(30), 3);
+  const FlowResult base = s.pd.flow->run_signoff(s.pd.flow->initial_forest());
+  std::printf("baseline: WNS %.3f TNS %.1f (%lld cells)\n\n", base.metrics.wns_ns,
+              base.metrics.tns_ns, s.pd.design->stats().num_cells);
+
+  Table t({"optimization", "WNS ratio", "TNS ratio", "extra cells"});
+
+  // TSteiner alone.
+  SteinerForest refined_forest = s.pd.flow->initial_forest();
+  {
+    const RefineOptions ropts = default_refine_options(s.pd);
+    const RefineResult refined =
+        refine_steiner_points(*s.pd.design, s.pd.flow->initial_forest(), *s.model, ropts);
+    refined_forest = refined.forest;
+    const FlowResult opt = s.pd.flow->run_signoff(refined.forest);
+    t.add_row({"TSteiner", fmt(ratio(opt.metrics.wns_ns, base.metrics.wns_ns), 4),
+               fmt(ratio(opt.metrics.tns_ns, base.metrics.tns_ns), 4), "0"});
+  }
+
+  // Buffering alone (mutates a copy of the design, so run it last on the
+  // shared design; we re-prepare the flow afterwards for the combined row).
+  {
+    Design& d = *s.pd.design;
+    const int buffers =
+        buffer_critical_nets(d, s.pd.flow->initial_forest(), base.sta.arrival, 24);
+    Flow buffered_flow(&d, s.pd.flow->options());
+    const FlowResult buf = buffered_flow.run_signoff(buffered_flow.initial_forest());
+    t.add_row({"buffering (24 nets)", fmt(ratio(buf.metrics.wns_ns, base.metrics.wns_ns), 4),
+               fmt(ratio(buf.metrics.tns_ns, base.metrics.tns_ns), 4),
+               Table::num(static_cast<long long>(buffers))});
+
+    // Combined: TSteiner on top of the buffered design (fresh model-free
+    // geometry pass would need retraining; reuse the evaluator — topology
+    // changed, so rebuild the cache via refine's internal path).
+    const RefineOptions ropts = default_refine_options(s.pd);
+    const RefineResult refined = refine_steiner_points(
+        d, buffered_flow.initial_forest(), *s.model, ropts);
+    const FlowResult both = buffered_flow.run_signoff(refined.forest);
+    t.add_row({"buffering + TSteiner",
+               fmt(ratio(both.metrics.wns_ns, base.metrics.wns_ns), 4),
+               fmt(ratio(both.metrics.tns_ns, base.metrics.tns_ns), 4),
+               Table::num(static_cast<long long>(buffers))});
+  }
+  t.print();
+  std::printf("\nexpected shape: buffering lands the larger standalone gain (it may edit "
+              "the netlist); TSteiner adds on top at zero cell cost\n");
+  return 0;
+}

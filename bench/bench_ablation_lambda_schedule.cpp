@@ -1,0 +1,53 @@
+// Ablation: the lambda schedule of Section IV-A ("Starting from the 5th
+// iteration, we increase lambda_w and lambda_t by 1% in each following
+// iteration") vs constant weights, and the lambda_w : lambda_t balance.
+#include "bench_common.hpp"
+
+using namespace tsteiner;
+using namespace tsteiner::bench;
+
+int main() {
+  const double scale = env_scale(0.25);
+  std::printf("== Ablation: lambda schedule on des (scale %.2f) ==\n\n", scale);
+  SingleDesignSetup s = prepare_single("des", scale, env_epochs(30), 3);
+  const FlowResult base = s.pd.flow->run_signoff(s.pd.flow->initial_forest());
+  std::printf("baseline: WNS %.3f TNS %.1f\n\n", base.metrics.wns_ns, base.metrics.tns_ns);
+
+  Table t({"configuration", "iters", "WNS ratio", "TNS ratio"});
+  auto run = [&](const std::string& name, const RefineOptions& ropts) {
+    const RefineResult refined =
+        refine_steiner_points(*s.pd.design, s.pd.flow->initial_forest(), *s.model, ropts);
+    const FlowResult opt = s.pd.flow->run_signoff(refined.forest);
+    t.add_row({name, Table::num(static_cast<long long>(refined.iterations)),
+               fmt(ratio(opt.metrics.wns_ns, base.metrics.wns_ns), 4),
+               fmt(ratio(opt.metrics.tns_ns, base.metrics.tns_ns), 4)});
+  };
+
+  {
+    RefineOptions r = default_refine_options(s.pd);
+    run("paper: +1%/iter from iter 5", r);
+  }
+  {
+    RefineOptions r = default_refine_options(s.pd);
+    r.lambda_growth = 0.0;
+    run("constant lambdas", r);
+  }
+  {
+    RefineOptions r = default_refine_options(s.pd);
+    r.lambda_growth = 0.05;
+    run("aggressive +5%/iter", r);
+  }
+  {
+    RefineOptions r = default_refine_options(s.pd);
+    r.weights.lambda_w = -2.0;
+    r.weights.lambda_t = -200.0;
+    run("swapped weights (TNS-heavy)", r);
+  }
+  {
+    RefineOptions r = default_refine_options(s.pd);
+    r.weights.lambda_t = 0.0;
+    run("WNS only (lambda_t = 0)", r);
+  }
+  t.print();
+  return 0;
+}

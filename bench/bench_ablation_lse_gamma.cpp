@@ -1,0 +1,33 @@
+// Ablation: LSE smoothing temperature gamma (Eq. 5). gamma -> 0 recovers the
+// hard max/min (gradient reaches only the single worst path — the "cut-off"
+// the paper smooths away); large gamma spreads the gradient across all
+// endpoints. The paper uses gamma = 10.
+#include "bench_common.hpp"
+
+using namespace tsteiner;
+using namespace tsteiner::bench;
+
+int main() {
+  const double scale = env_scale(0.25);
+  std::printf("== Ablation: LSE gamma sweep on des (scale %.2f) ==\n\n", scale);
+  SingleDesignSetup s = prepare_single("des", scale, env_epochs(30), 3);
+  const FlowResult base = s.pd.flow->run_signoff(s.pd.flow->initial_forest());
+  std::printf("baseline: WNS %.3f TNS %.1f\n\n", base.metrics.wns_ns, base.metrics.tns_ns);
+
+  Table t({"gamma/clock", "iters", "signoff WNS", "signoff TNS", "WNS ratio", "TNS ratio"});
+  for (const double gamma : {0.001, 0.1, 0.5, 2.0}) {
+    RefineOptions ropts = default_refine_options(s.pd);
+    ropts.weights.gamma_relative = gamma;
+    const RefineResult refined =
+        refine_steiner_points(*s.pd.design, s.pd.flow->initial_forest(), *s.model, ropts);
+    const FlowResult opt = s.pd.flow->run_signoff(refined.forest);
+    t.add_row({fmt(gamma, 2), Table::num(static_cast<long long>(refined.iterations)),
+               fmt(opt.metrics.wns_ns), fmt(opt.metrics.tns_ns, 1),
+               fmt(ratio(opt.metrics.wns_ns, base.metrics.wns_ns), 4),
+               fmt(ratio(opt.metrics.tns_ns, base.metrics.tns_ns), 4)});
+  }
+  t.print();
+  std::printf("\nexpected shape: very small gamma (hard max) optimizes only the worst "
+              "path; moderate gamma (paper: 10) balances all violating endpoints\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table I: benchmark statistics — cell nodes, Steiner nodes, net edges,
+// cell edges and timing endpoints per design, plus train/test totals.
+#include "bench_common.hpp"
+
+using namespace tsteiner;
+using namespace tsteiner::bench;
+
+int main() {
+  const double scale = env_scale(0.12);
+  std::printf("== Table I: benchmark statistics (scale %.2f of the paper's sizes) ==\n\n",
+              scale);
+  const CellLibrary lib = CellLibrary::make_default();
+
+  Table t({"Benchmark", "split", "# Cell", "# Steiner", "# NetE", "# CellE", "# Endpoints"});
+  DesignStats train_total{}, test_total{};
+  long long train_steiner = 0, test_steiner = 0;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const PreparedDesign pd = prepare_design(lib, spec, scale);
+    const DesignStats s = pd.design->stats();
+    const long long steiner = pd.flow->initial_forest().num_steiner_nodes();
+    t.add_row({spec.name, spec.is_training ? "train" : "test", Table::num(s.num_cells),
+               Table::num(steiner), Table::num(s.num_net_edges), Table::num(s.num_cell_edges),
+               Table::num(s.num_endpoints)});
+    DesignStats& agg = spec.is_training ? train_total : test_total;
+    agg.num_cells += s.num_cells;
+    agg.num_net_edges += s.num_net_edges;
+    agg.num_cell_edges += s.num_cell_edges;
+    agg.num_endpoints += s.num_endpoints;
+    (spec.is_training ? train_steiner : test_steiner) += steiner;
+  }
+  t.add_row({"Total Train", "", Table::num(train_total.num_cells), Table::num(train_steiner),
+             Table::num(train_total.num_net_edges), Table::num(train_total.num_cell_edges),
+             Table::num(train_total.num_endpoints)});
+  t.add_row({"Total Test", "", Table::num(test_total.num_cells), Table::num(test_steiner),
+             Table::num(test_total.num_net_edges), Table::num(test_total.num_cell_edges),
+             Table::num(test_total.num_endpoints)});
+  t.print();
+  std::printf("\npaper (scale 1.00): Total Train 89532 cells / 28280 Steiner; "
+              "Total Test 74206 cells / 32494 Steiner\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table III: sign-off arrival-time prediction R^2 per design, on all pins
+// ('arrival-all') and endpoints only ('arrival-ends'), with train/test
+// averages. Paper averages: arrival-all 0.9959 train / 0.9280 test;
+// arrival-ends 0.9974 train / 0.8871 test.
+#include "bench_common.hpp"
+
+using namespace tsteiner;
+using namespace tsteiner::bench;
+
+int main() {
+  SuiteOptions opts = default_suite_options();
+  std::printf("== Table III: sign-off timing prediction (scale %.2f, %d epochs) ==\n\n",
+              opts.scale, opts.train.epochs);
+  TrainedSuite suite = build_and_train_suite(opts);
+
+  TrainOptions topt = opts.train;
+  Trainer trainer(suite.model.get(), topt);  // reuse trained weights for eval
+
+  Table t({"Benchmark", "split", "arrival-all", "arrival-ends"});
+  double sum_all_train = 0, sum_all_test = 0, sum_ends_train = 0, sum_ends_test = 0;
+  int n_train = 0, n_test = 0;
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    const PreparedDesign& pd = suite.designs[i];
+    const EvalMetrics m = trainer.evaluate(suite.base_samples[i]);
+    t.add_row({pd.spec.name, pd.spec.is_training ? "train" : "test", fmt(m.r2_all, 4),
+               fmt(m.r2_ends, 4)});
+    if (pd.spec.is_training) {
+      sum_all_train += m.r2_all;
+      sum_ends_train += m.r2_ends;
+      ++n_train;
+    } else {
+      sum_all_test += m.r2_all;
+      sum_ends_test += m.r2_ends;
+      ++n_test;
+    }
+  }
+  t.print();
+  std::printf("\nAvg Train: arrival-all %.4f  arrival-ends %.4f   (paper 0.9959 / 0.9974)\n",
+              sum_all_train / std::max(1, n_train), sum_ends_train / std::max(1, n_train));
+  std::printf("Avg Test:  arrival-all %.4f  arrival-ends %.4f   (paper 0.9280 / 0.8871)\n",
+              sum_all_test / std::max(1, n_test), sum_ends_test / std::max(1, n_test));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Routing-substrate study: shows how the grid-graph router, capacity
+// calibration, negotiated rip-up-and-reroute and congestion-driven edge
+// shifting interact — the machinery TSteiner's sign-off labels run through.
+#include <cstdio>
+
+#include "droute/detailed_route.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "steiner/edge_shift.hpp"
+#include "steiner/rsmt.hpp"
+
+using namespace tsteiner;
+
+int main() {
+  const CellLibrary lib = CellLibrary::make_default();
+  GeneratorParams params;
+  params.name = "congestion_study";
+  params.num_comb_cells = 1200;
+  params.num_registers = 120;
+  params.num_primary_inputs = 16;
+  params.num_primary_outputs = 16;
+  params.seed = 13;
+  Design design = generate_design(lib, params);
+  place_design(design);
+  SteinerForest forest = build_forest(design);
+  std::printf("design %s: %lld cells, %zu trees, %lld steiner points\n",
+              design.name().c_str(), design.stats().num_cells, forest.trees.size(),
+              forest.num_steiner_nodes());
+
+  // Pattern routing only (no negotiation) to expose raw congestion.
+  RouterOptions no_rrr;
+  no_rrr.rrr_iterations = 0;
+  const GlobalRouteResult raw = global_route(design, forest, no_rrr);
+  std::printf("\npattern route:    overflow %.1f over %lld edges (caps H %.1f / V %.1f)\n",
+              raw.total_overflow, raw.overflowed_edges, raw.calibrated_h_cap,
+              raw.calibrated_v_cap);
+
+  // Full negotiated RRR with the same capacities.
+  RouterOptions with_rrr;
+  with_rrr.fixed_h_cap = raw.calibrated_h_cap;
+  with_rrr.fixed_v_cap = raw.calibrated_v_cap;
+  const GlobalRouteResult negotiated = global_route(design, forest, with_rrr);
+  std::printf("negotiated route: overflow %.1f over %lld edges, %d RRR rounds\n",
+              negotiated.total_overflow, negotiated.overflowed_edges,
+              negotiated.rrr_rounds_used);
+
+  // Edge shifting against the congestion map, then reroute.
+  const GridGraph& grid = raw.grid;  // shift against raw congestion (pre-negotiation)
+  const int moves = edge_shift_forest(forest, [&grid](const PointF& a, const PointF& b) {
+    GCell ga = grid.gcell_at(a);
+    const GCell gb = grid.gcell_at(b);
+    double cost = 0.0;
+    while (ga.x != gb.x) {
+      const GCell next{ga.x + (gb.x > ga.x ? 1 : -1), ga.y};
+      cost += std::max(0.0, grid.congestion_between(ga, next) - 0.7);
+      ga = next;
+    }
+    while (ga.y != gb.y) {
+      const GCell next{ga.x, ga.y + (gb.y > ga.y ? 1 : -1)};
+      cost += std::max(0.0, grid.congestion_between(ga, next) - 0.7);
+      ga = next;
+    }
+    return cost;
+  });
+  const GlobalRouteResult shifted = global_route(design, forest, with_rrr);
+  std::printf("after edge shift: overflow %.1f over %lld edges (%d points moved)\n",
+              shifted.total_overflow, shifted.overflowed_edges, moves);
+
+  // Detailed-routing surrogate on both.
+  const DetailedRouteResult dr_before = detailed_route(design, forest, negotiated);
+  const DetailedRouteResult dr_after = detailed_route(design, forest, shifted);
+  std::printf("\nDR surrogate:  DRVs %lld -> %lld, repair rounds %d -> %d\n",
+              dr_before.num_drvs, dr_after.num_drvs, dr_before.repair_rounds_used,
+              dr_after.repair_rounds_used);
+  std::printf("wirelength %.0f -> %.0f DBU, vias %lld -> %lld\n", dr_before.wirelength_dbu,
+              dr_after.wirelength_dbu, dr_before.num_vias, dr_after.num_vias);
+  return 0;
+}

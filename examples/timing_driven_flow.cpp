@@ -1,0 +1,57 @@
+// Timing-driven flow on a Table-I benchmark: runs the full paper pipeline
+// (suite preparation, evaluator training across the six training designs,
+// then TSteiner refinement) for one chosen design and prints a Table-II
+// style before/after row.
+//
+// Usage: timing_driven_flow [design-name] [scale]
+//        defaults: picorv32a (a held-out test design), TSTEINER_SCALE or 0.12
+#include <cstdio>
+#include <cstring>
+
+#include "flow/experiment.hpp"
+#include "tsteiner/refine.hpp"
+#include "util/table.hpp"
+
+using namespace tsteiner;
+
+int main(int argc, char** argv) {
+  const char* target = argc > 1 ? argv[1] : "picorv32a";
+  SuiteOptions opts;
+  opts.scale = argc > 2 ? std::atof(argv[2]) : env_scale(0.12);
+  opts.perturb_per_design = 3;
+  opts.train.epochs = env_epochs(40);
+
+  std::printf("building suite at scale %.2f and training the evaluator ...\n", opts.scale);
+  TrainedSuite suite = build_and_train_suite(opts);
+
+  const PreparedDesign* pd = nullptr;
+  for (const PreparedDesign& d : suite.designs) {
+    if (d.spec.name == target) pd = &d;
+  }
+  if (pd == nullptr) {
+    std::fprintf(stderr, "unknown design '%s'\n", target);
+    return 1;
+  }
+
+  std::printf("running baseline flow on %s ...\n", target);
+  const FlowResult base = pd->flow->run_signoff(pd->flow->initial_forest());
+
+  std::printf("running TSteiner + flow ...\n");
+  RefineOptions ropts;
+  ropts.gcell_size = pd->flow->options().router.gcell_size;
+  const RefineResult refined =
+      refine_steiner_points(*pd->design, pd->flow->initial_forest(), *suite.model, ropts);
+  const FlowResult opt = pd->flow->run_signoff(refined.forest);
+
+  Table t({"flow", "WNS (ns)", "TNS (ns)", "# Vios", "WL", "# Vias", "# DRV"});
+  t.add_row({"CUGR-like + DR", Table::num(base.metrics.wns_ns), Table::num(base.metrics.tns_ns, 1),
+             Table::num(base.metrics.num_vios), Table::num(base.metrics.wirelength_dbu, 0),
+             Table::num(base.metrics.num_vias), Table::num(base.metrics.num_drvs)});
+  t.add_row({"TSteiner + flow", Table::num(opt.metrics.wns_ns), Table::num(opt.metrics.tns_ns, 1),
+             Table::num(opt.metrics.num_vios), Table::num(opt.metrics.wirelength_dbu, 0),
+             Table::num(opt.metrics.num_vias), Table::num(opt.metrics.num_drvs)});
+  t.print();
+  std::printf("refinement used %d iterations (theta %.4f)%s\n", refined.iterations,
+              refined.theta, refined.converged_by_ratio ? ", converged by ratio" : "");
+  return 0;
+}

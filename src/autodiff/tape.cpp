@@ -1,0 +1,503 @@
+#include "autodiff/tape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsteiner {
+
+Value Tape::leaf(Tensor value, bool requires_grad) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  nodes_.push_back(std::move(n));
+  return Value{static_cast<int>(nodes_.size()) - 1};
+}
+
+Value Tape::make(Tensor value, std::function<void(Tape&)> backward_fn) {
+  Node n;
+  n.value = std::move(value);
+  n.backward_fn = std::move(backward_fn);
+  nodes_.push_back(std::move(n));
+  return Value{static_cast<int>(nodes_.size()) - 1};
+}
+
+const Tensor& Tape::value(Value v) const {
+  return nodes_[static_cast<std::size_t>(v.id)].value;
+}
+
+const Tensor& Tape::grad(Value v) const {
+  const Node& n = nodes_[static_cast<std::size_t>(v.id)];
+  static const Tensor kEmpty;
+  return n.grad.size() == n.value.size() ? n.grad : kEmpty;
+}
+
+void Tape::ensure_grad(Value v) {
+  Node& n = nodes_[static_cast<std::size_t>(v.id)];
+  if (n.grad.size() != n.value.size()) {
+    n.grad = Tensor::zeros(n.value.rows(), n.value.cols());
+  }
+}
+
+// Helper macros keep the op definitions compact: each op captures its input
+// handles and whatever forward data the backward pass needs.
+
+Value Tape::add(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  Tensor out = ta;
+  if (tb.same_shape(ta)) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += tb[i];
+  } else if (tb.rows() == 1 && tb.cols() == ta.cols()) {
+    for (std::size_t r = 0; r < ta.rows(); ++r) {
+      for (std::size_t c = 0; c < ta.cols(); ++c) out.at(r, c) += tb.at(0, c);
+    }
+  } else {
+    throw std::runtime_error("add: incompatible shapes");
+  }
+  const bool broadcast = !tb.same_shape(ta);
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v, broadcast](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    t.ensure_grad(b);
+    Tensor& ga = t.grad_ref(a);
+    Tensor& gb = t.grad_ref(b);
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+    if (!broadcast) {
+      for (std::size_t i = 0; i < g.size(); ++i) gb[i] += g[i];
+    } else {
+      for (std::size_t r = 0; r < g.rows(); ++r) {
+        for (std::size_t c = 0; c < g.cols(); ++c) gb.at(0, c) += g.at(r, c);
+      }
+    }
+  };
+  return v;
+}
+
+Value Tape::sub(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  if (!ta.same_shape(tb)) throw std::runtime_error("sub: shape mismatch");
+  Tensor out = ta;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] -= tb[i];
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    t.ensure_grad(b);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      t.grad_ref(a)[i] += g[i];
+      t.grad_ref(b)[i] -= g[i];
+    }
+  };
+  return v;
+}
+
+Value Tape::mul(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  if (!ta.same_shape(tb)) throw std::runtime_error("mul: shape mismatch");
+  Tensor out = ta;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= tb[i];
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    t.ensure_grad(b);
+    const Tensor& va = t.value(a);
+    const Tensor& vb = t.value(b);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      t.grad_ref(a)[i] += g[i] * vb[i];
+      t.grad_ref(b)[i] += g[i] * va[i];
+    }
+  };
+  return v;
+}
+
+Value Tape::scale(Value a, double s) {
+  Tensor out = value(a);
+  for (double& x : out.data()) x *= s;
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, s](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i] * s;
+  };
+  return v;
+}
+
+Value Tape::add_scalar(Value a, double s) {
+  Tensor out = value(a);
+  for (double& x : out.data()) x += s;
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i];
+  };
+  return v;
+}
+
+Value Tape::matmul(Value a, Value b) {
+  const Tensor& ta = value(a);
+  const Tensor& tb = value(b);
+  if (ta.cols() != tb.rows()) throw std::runtime_error("matmul: inner dims differ");
+  Tensor out(ta.rows(), tb.cols());
+  for (std::size_t r = 0; r < ta.rows(); ++r) {
+    for (std::size_t k = 0; k < ta.cols(); ++k) {
+      const double av = ta.at(r, k);
+      if (av == 0.0) continue;
+      for (std::size_t c = 0; c < tb.cols(); ++c) out.at(r, c) += av * tb.at(k, c);
+    }
+  }
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& va = t.value(a);
+    const Tensor& vb = t.value(b);
+    t.ensure_grad(a);
+    t.ensure_grad(b);
+    Tensor& ga = t.grad_ref(a);
+    Tensor& gb = t.grad_ref(b);
+    // dA = dOut * B^T
+    for (std::size_t r = 0; r < va.rows(); ++r) {
+      for (std::size_t k = 0; k < va.cols(); ++k) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < vb.cols(); ++c) s += g.at(r, c) * vb.at(k, c);
+        ga.at(r, k) += s;
+      }
+    }
+    // dB = A^T * dOut
+    for (std::size_t k = 0; k < vb.rows(); ++k) {
+      for (std::size_t c = 0; c < vb.cols(); ++c) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < va.rows(); ++r) s += va.at(r, k) * g.at(r, c);
+        gb.at(k, c) += s;
+      }
+    }
+  };
+  return v;
+}
+
+Value Tape::relu(Value a) {
+  Tensor out = value(a);
+  for (double& x : out.data()) x = std::max(0.0, x);
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& va = t.value(a);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (va[i] > 0.0) t.grad_ref(a)[i] += g[i];
+    }
+  };
+  return v;
+}
+
+Value Tape::tanh_op(Value a) {
+  Tensor out = value(a);
+  for (double& x : out.data()) x = std::tanh(x);
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& vo = t.value(v);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i] * (1.0 - vo[i] * vo[i]);
+  };
+  return v;
+}
+
+Value Tape::sigmoid(Value a) {
+  Tensor out = value(a);
+  for (double& x : out.data()) x = 1.0 / (1.0 + std::exp(-x));
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& vo = t.value(v);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i] * vo[i] * (1.0 - vo[i]);
+  };
+  return v;
+}
+
+Value Tape::abs_op(Value a) {
+  Tensor out = value(a);
+  for (double& x : out.data()) x = std::fabs(x);
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& va = t.value(a);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double sgn = va[i] > 0.0 ? 1.0 : (va[i] < 0.0 ? -1.0 : 0.0);
+      t.grad_ref(a)[i] += g[i] * sgn;
+    }
+  };
+  return v;
+}
+
+Value Tape::smooth_abs(Value a, double delta) {
+  if (delta <= 0.0) return abs_op(a);
+  Tensor out = value(a);
+  for (double& x : out.data()) x = std::sqrt(x * x + delta * delta) - delta;
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, delta](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& va = t.value(a);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      t.grad_ref(a)[i] += g[i] * va[i] / std::sqrt(va[i] * va[i] + delta * delta);
+    }
+  };
+  return v;
+}
+
+Value Tape::softplus(Value a) {
+  Tensor out = value(a);
+  for (double& x : out.data()) {
+    x = std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0);
+  }
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& va = t.value(a);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      t.grad_ref(a)[i] += g[i] / (1.0 + std::exp(-va[i]));
+    }
+  };
+  return v;
+}
+
+Value Tape::concat_cols(const std::vector<Value>& parts) {
+  if (parts.empty()) throw std::runtime_error("concat_cols: empty");
+  const std::size_t rows = value(parts[0]).rows();
+  std::size_t cols = 0;
+  for (Value p : parts) {
+    if (value(p).rows() != rows) throw std::runtime_error("concat_cols: row mismatch");
+    cols += value(p).cols();
+  }
+  Tensor out(rows, cols);
+  std::size_t off = 0;
+  for (Value p : parts) {
+    const Tensor& tp = value(p);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < tp.cols(); ++c) out.at(r, off + c) = tp.at(r, c);
+    }
+    off += tp.cols();
+  }
+  std::vector<Value> captured = parts;
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [captured, v](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    std::size_t off2 = 0;
+    for (Value p : captured) {
+      t.ensure_grad(p);
+      Tensor& gp = t.grad_ref(p);
+      for (std::size_t r = 0; r < gp.rows(); ++r) {
+        for (std::size_t c = 0; c < gp.cols(); ++c) gp.at(r, c) += g.at(r, off2 + c);
+      }
+      off2 += gp.cols();
+    }
+  };
+  return v;
+}
+
+Value Tape::gather_rows(Value a, std::vector<int> indices) {
+  const Tensor& ta = value(a);
+  Tensor out(indices.size(), ta.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = static_cast<std::size_t>(indices[i]);
+    for (std::size_t c = 0; c < ta.cols(); ++c) out.at(i, c) = ta.at(src, c);
+  }
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, idx = std::move(indices)](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    Tensor& ga = t.grad_ref(a);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const auto dst = static_cast<std::size_t>(idx[i]);
+      for (std::size_t c = 0; c < g.cols(); ++c) ga.at(dst, c) += g.at(i, c);
+    }
+  };
+  return v;
+}
+
+Value Tape::scatter_add_rows(Value a, std::vector<int> indices, std::size_t out_rows) {
+  const Tensor& ta = value(a);
+  if (indices.size() != ta.rows()) throw std::runtime_error("scatter_add: index count");
+  Tensor out(out_rows, ta.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto dst = static_cast<std::size_t>(indices[i]);
+    for (std::size_t c = 0; c < ta.cols(); ++c) out.at(dst, c) += ta.at(i, c);
+  }
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, idx = std::move(indices)](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    t.ensure_grad(a);
+    Tensor& ga = t.grad_ref(a);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const auto src = static_cast<std::size_t>(idx[i]);
+      for (std::size_t c = 0; c < g.cols(); ++c) ga.at(i, c) += g.at(src, c);
+    }
+  };
+  return v;
+}
+
+Value Tape::segment_max(Value a, std::vector<int> segments, std::size_t num_segments,
+                        double empty_fill) {
+  const Tensor& ta = value(a);
+  if (segments.size() != ta.rows()) throw std::runtime_error("segment_max: index count");
+  Tensor out(num_segments, ta.cols(), empty_fill);
+  // argmax row per (segment, col) for the backward pass.
+  std::vector<int> argmax(num_segments * ta.cols(), -1);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto s = static_cast<std::size_t>(segments[i]);
+    for (std::size_t c = 0; c < ta.cols(); ++c) {
+      const std::size_t k = s * ta.cols() + c;
+      if (argmax[k] < 0 || ta.at(i, c) > out.at(s, c)) {
+        out.at(s, c) = ta.at(i, c);
+        argmax[k] = static_cast<int>(i);
+      }
+    }
+  }
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn =
+      [a, v, am = std::move(argmax)](Tape& t) {
+        const Tensor& g = t.grad_ref(v);
+        t.ensure_grad(a);
+        Tensor& ga = t.grad_ref(a);
+        for (std::size_t s = 0; s < g.rows(); ++s) {
+          for (std::size_t c = 0; c < g.cols(); ++c) {
+            const int i = am[s * g.cols() + c];
+            if (i >= 0) ga.at(static_cast<std::size_t>(i), c) += g.at(s, c);
+          }
+        }
+      };
+  return v;
+}
+
+Value Tape::segment_sum(Value a, std::vector<int> segments, std::size_t num_segments) {
+  return scatter_add_rows(a, std::move(segments), num_segments);
+}
+
+Value Tape::sum_all(Value a) {
+  const Tensor& ta = value(a);
+  double s = 0.0;
+  for (double x : ta.data()) s += x;
+  Tensor out(1, 1);
+  out[0] = s;
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
+    const double g = t.grad_ref(v)[0];
+    t.ensure_grad(a);
+    for (double& x : t.grad_ref(a).data()) x += g;
+  };
+  return v;
+}
+
+Value Tape::mean_all(Value a) {
+  const auto n = static_cast<double>(value(a).size());
+  return scale(sum_all(a), 1.0 / n);
+}
+
+Value Tape::log_sum_exp(Value a, double gamma) {
+  if (gamma <= 0.0) throw std::runtime_error("log_sum_exp: gamma must be positive");
+  const Tensor& ta = value(a);
+  if (ta.size() == 0) throw std::runtime_error("log_sum_exp: empty input");
+  double m = ta[0];
+  for (double x : ta.data()) m = std::max(m, x);
+  double z = 0.0;
+  for (double x : ta.data()) z += std::exp((x - m) / gamma);
+  Tensor out(1, 1);
+  out[0] = m + gamma * std::log(z);
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, gamma, m, z](Tape& t) {
+    const double g = t.grad_ref(v)[0];
+    const Tensor& va = t.value(a);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      t.grad_ref(a)[i] += g * std::exp((va[i] - m) / gamma) / z;  // softmax weights
+    }
+  };
+  return v;
+}
+
+Value Tape::soft_min0(Value a, double gamma) {
+  if (gamma <= 0.0) throw std::runtime_error("soft_min0: gamma must be positive");
+  const Tensor& ta = value(a);
+  Tensor out = ta;
+  for (double& x : out.data()) {
+    const double t = -x / gamma;
+    // -gamma * softplus(-x/gamma), with stable softplus.
+    const double sp = std::log1p(std::exp(-std::fabs(t))) + std::max(t, 0.0);
+    x = -gamma * sp;
+  }
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, gamma](Tape& t) {
+    const Tensor& g = t.grad_ref(v);
+    const Tensor& va = t.value(a);
+    t.ensure_grad(a);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double sig = 1.0 / (1.0 + std::exp(va[i] / gamma));  // d/dx = sigma(-x/gamma)
+      t.grad_ref(a)[i] += g[i] * sig;
+    }
+  };
+  return v;
+}
+
+Value Tape::mse(Value prediction, const Tensor& target) {
+  const Tensor& tp = value(prediction);
+  if (!tp.same_shape(target)) throw std::runtime_error("mse: shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    const double d = tp[i] - target[i];
+    s += d * d;
+  }
+  Tensor out(1, 1);
+  out[0] = s / static_cast<double>(tp.size());
+  Value v = make(std::move(out), nullptr);
+  nodes_[static_cast<std::size_t>(v.id)].backward_fn = [prediction, v, target](Tape& t) {
+    const double g = t.grad_ref(v)[0];
+    const Tensor& vp = t.value(prediction);
+    t.ensure_grad(prediction);
+    const double k = 2.0 / static_cast<double>(vp.size());
+    for (std::size_t i = 0; i < vp.size(); ++i) {
+      t.grad_ref(prediction)[i] += g * k * (vp[i] - target[i]);
+    }
+  };
+  return v;
+}
+
+void Tape::backward(Value root) {
+  Node& r = nodes_[static_cast<std::size_t>(root.id)];
+  if (r.value.size() != 1) throw std::runtime_error("backward: root must be scalar");
+  for (Node& n : nodes_) {
+    if (n.grad.size() != n.value.size()) n.grad = Tensor::zeros(n.value.rows(), n.value.cols());
+    else std::fill(n.grad.data().begin(), n.grad.data().end(), 0.0);
+  }
+  grad_ref(root)[0] = 1.0;
+  for (int i = root.id; i >= 0; --i) {
+    Node& n = nodes_[static_cast<std::size_t>(i)];
+    bool has_grad = false;
+    for (double g : n.grad.data()) {
+      if (g != 0.0) {
+        has_grad = true;
+        break;
+      }
+    }
+    if (has_grad && n.backward_fn) n.backward_fn(*this);
+  }
+}
+
+double numeric_gradient(const std::function<double(const Tensor&)>& f, const Tensor& at,
+                        std::size_t index, double eps) {
+  Tensor plus = at;
+  Tensor minus = at;
+  plus[index] += eps;
+  minus[index] -= eps;
+  return (f(plus) - f(minus)) / (2.0 * eps);
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,108 @@
+// Reverse-mode automatic differentiation on a tape of tensor operations.
+//
+// This is the substrate the paper gets from PyTorch: the timing evaluator's
+// forward pass is recorded as a graph of tensor ops, and Tape::backward
+// accumulates gradients into every leaf marked requires_grad — in TSteiner's
+// case, the Steiner-point coordinate vectors (X_s, Y_s) and the model
+// weights. The op set is exactly what the customized GNN and the smoothed
+// WNS/TNS penalty need: dense linear algebra, pointwise nonlinearities,
+// gather/scatter for message passing, segment reductions for max-style
+// aggregation, and numerically stable Log-Sum-Exp (Eq. 5).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autodiff/tensor.hpp"
+
+namespace tsteiner {
+
+/// Opaque handle to a tape node.
+struct Value {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+class Tape {
+ public:
+  /// Create a leaf. Leaves with requires_grad accumulate into grad(v).
+  Value leaf(Tensor value, bool requires_grad = false);
+
+  const Tensor& value(Value v) const;
+  /// Gradient of the last backward() w.r.t. v (zeros if v was unused).
+  const Tensor& grad(Value v) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  // --- elementwise / linear ops -------------------------------------------
+  Value add(Value a, Value b);        ///< same shape, or b a 1xC row broadcast
+  Value sub(Value a, Value b);        ///< same-shape elementwise
+  Value mul(Value a, Value b);        ///< same-shape elementwise
+  Value scale(Value a, double s);
+  Value add_scalar(Value a, double s);
+  Value neg(Value a) { return scale(a, -1.0); }
+  Value matmul(Value a, Value b);
+  Value relu(Value a);
+  Value tanh_op(Value a);
+  Value sigmoid(Value a);
+  Value abs_op(Value a);
+  /// Smooth absolute value sqrt(x^2 + delta^2) - delta: zero at the origin,
+  /// |x|-like in the tails, gradient x / sqrt(x^2 + delta^2). Used for edge
+  /// lengths so WL-optimal Steiner corners are flat basins instead of sharp
+  /// V kinks (which would dominate the refinement gradient with
+  /// wirelength-slope noise).
+  Value smooth_abs(Value a, double delta);
+  /// Numerically stable log(1 + e^x); smooth non-negative delay head.
+  Value softplus(Value a);
+
+  // --- structure ops --------------------------------------------------------
+  Value concat_cols(const std::vector<Value>& parts);
+  /// out.row(i) = a.row(indices[i]); rows may repeat.
+  Value gather_rows(Value a, std::vector<int> indices);
+  /// out has out_rows rows; out.row(indices[i]) += a.row(i).
+  Value scatter_add_rows(Value a, std::vector<int> indices, std::size_t out_rows);
+  /// out.row(s) = max over rows i with segment[i] == s (per column);
+  /// segments with no member yield `empty_fill` and zero gradient.
+  Value segment_max(Value a, std::vector<int> segments, std::size_t num_segments,
+                    double empty_fill = 0.0);
+  /// out.row(s) = sum over rows i with segment[i] == s.
+  Value segment_sum(Value a, std::vector<int> segments, std::size_t num_segments);
+
+  // --- reductions -----------------------------------------------------------
+  Value sum_all(Value a);  ///< 1x1
+  Value mean_all(Value a);
+  /// Smoothed maximum, Eq. (5): gamma * log(sum_i exp(a_i / gamma)), over all
+  /// elements; numerically stabilized. Result 1x1.
+  Value log_sum_exp(Value a, double gamma);
+  /// Smooth elementwise min(0, x): -gamma * softplus(-x / gamma). Used for
+  /// the TNS term so backward reaches every endpoint (Section III-A).
+  Value soft_min0(Value a, double gamma);
+  /// Mean squared error against a constant target (no grad to target).
+  Value mse(Value prediction, const Tensor& target);
+
+  /// Reverse pass from a 1x1 root with seed gradient 1.
+  void backward(Value root);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    bool requires_grad = false;  // leaves only; interior nodes always get grad
+    std::function<void(Tape&)> backward_fn;  // null for leaves
+  };
+
+  Value make(Tensor value, std::function<void(Tape&)> backward_fn);
+  Tensor& grad_ref(Value v) { return nodes_[static_cast<std::size_t>(v.id)].grad; }
+  void ensure_grad(Value v);
+
+  std::vector<Node> nodes_;
+};
+
+/// Numeric-vs-analytic gradient check used by the autodiff tests: rebuilds
+/// the graph via `build` after perturbing leaf element (r, c) of the leaf
+/// created inside build (the function returns the scalar root and exposes
+/// the leaf by pointer).
+double numeric_gradient(const std::function<double(const Tensor&)>& f, const Tensor& at,
+                        std::size_t index, double eps = 1e-5);
+
+}  // namespace tsteiner

@@ -1,0 +1,67 @@
+// Dense row-major 2-D tensor of doubles; the value type of the autodiff
+// tape. Deliberately minimal: the GNN only needs construction, elementwise
+// access and a few initializers.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tsteiner {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Tensor zeros(std::size_t rows, std::size_t cols) { return Tensor(rows, cols, 0.0); }
+
+  /// Xavier/Glorot-style normal init used for the GNN weights.
+  static Tensor randn(Rng& rng, std::size_t rows, std::size_t cols, double stddev) {
+    Tensor t(rows, cols);
+    for (double& v : t.data_) v = rng.normal(0.0, stddev);
+    return t;
+  }
+
+  /// Column vector from raw data.
+  static Tensor column(const std::vector<double>& xs) {
+    Tensor t(xs.size(), 1);
+    t.data_ = xs;
+    return t;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  double& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tsteiner

@@ -1,0 +1,113 @@
+#include "droute/detailed_route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "droute/track_assign.hpp"
+
+namespace tsteiner {
+
+DetailedRouteResult detailed_route(const Design& design, const SteinerForest& forest,
+                                   const GlobalRouteResult& gr, const DrouteOptions& options) {
+  DetailedRouteResult result;
+  const GridGraph& grid = gr.grid;
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+
+  // --- track assignment: the real conflict source ---------------------------
+  const TrackAssignResult ta = assign_tracks(gr);
+  std::vector<double> h_viol(ta.h_row_violations.begin(), ta.h_row_violations.end());
+  std::vector<double> v_viol(ta.v_col_violations.begin(), ta.v_col_violations.end());
+
+  // Row utilization (wire gcells per row) bounds how much a neighbor row can
+  // absorb during repair.
+  std::vector<double> h_used(static_cast<std::size_t>(ny), 0.0);
+  std::vector<double> v_used(static_cast<std::size_t>(nx), 0.0);
+  for (const WireRun& r : ta.runs) {
+    const double len = static_cast<double>(r.hi - r.lo + 1);
+    if (r.horizontal) {
+      h_used[static_cast<std::size_t>(r.row)] += len;
+    } else {
+      v_used[static_cast<std::size_t>(r.row)] += len;
+    }
+  }
+  const double h_row_capacity = static_cast<double>(ta.h_tracks) * nx;
+  const double v_col_capacity = static_cast<double>(ta.v_tracks) * ny;
+
+  auto total = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s;
+  };
+  const double initial_conflicts = total(h_viol) + total(v_viol);
+
+  // --- iterative repair: spill violated runs into adjacent rows/columns with
+  // spare track capacity; work scales with the number of violated rows.
+  double conflicts = initial_conflicts;
+  for (int round = 0; round < options.repair_rounds_max && conflicts > 0.5; ++round) {
+    ++result.repair_rounds_used;
+    auto spill = [&](std::vector<double>& viol, std::vector<double>& used, double capacity,
+                     double avg_run_len) {
+      const int n = static_cast<int>(viol.size());
+      for (int r = 0; r < n; ++r) {
+        if (viol[static_cast<std::size_t>(r)] <= 0.0) continue;
+        ++result.repair_work;
+        for (const int dr : {-1, 1}) {
+          const int rr = r + dr;
+          if (rr < 0 || rr >= n || viol[static_cast<std::size_t>(r)] <= 0.0) continue;
+          const double slack = capacity - used[static_cast<std::size_t>(rr)];
+          if (slack <= 0.0) continue;
+          const double movable =
+              std::min(viol[static_cast<std::size_t>(r)],
+                       std::floor(slack / std::max(1.0, avg_run_len)) * 0.5);
+          if (movable <= 0.0) continue;
+          viol[static_cast<std::size_t>(r)] -= movable;
+          used[static_cast<std::size_t>(rr)] += movable * avg_run_len;
+          used[static_cast<std::size_t>(r)] -= movable * avg_run_len;
+        }
+      }
+    };
+    const double avg_run =
+        ta.runs.empty() ? 1.0
+                        : (total(h_used) + total(v_used)) / static_cast<double>(ta.runs.size());
+    spill(h_viol, h_used, h_row_capacity, avg_run);
+    spill(v_viol, v_used, v_col_capacity, avg_run);
+    conflicts = total(h_viol) + total(v_viol);
+  }
+
+  // --- pin-access checking -------------------------------------------------
+  std::vector<int> pins_per_gcell(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny), 0);
+  for (const Pin& p : design.pins()) {
+    if (p.net < 0) continue;
+    const GCell g = grid.gcell_at(design.pin_position(p.id));
+    ++pins_per_gcell[static_cast<std::size_t>(g.y) * static_cast<std::size_t>(nx) +
+                     static_cast<std::size_t>(g.x)];
+  }
+  const double sites_per_gcell = static_cast<double>(grid.gcell_size());
+  long long pin_access_viol = 0;
+  for (int count : pins_per_gcell) {
+    const double limit = options.pin_density_limit_per_site * sites_per_gcell;
+    if (static_cast<double>(count) > limit) {
+      pin_access_viol += static_cast<long long>(std::ceil(static_cast<double>(count) - limit));
+    }
+  }
+
+  // --- final metrics --------------------------------------------------------
+  result.num_drvs = static_cast<long long>(std::llround(conflicts)) + pin_access_viol / 8;
+
+  long long vias = 0;
+  for (const RoutedConnection& conn : gr.connections) {
+    vias += 2 + conn.num_bends();  // pin-access vias + one via per bend
+  }
+  result.num_vias = vias;
+
+  const double n_edges = std::max<double>(1.0, static_cast<double>(gr.connections.size()));
+  const double detour =
+      options.wl_detour_base + options.wl_detour_per_overflow * (initial_conflicts / n_edges);
+  result.wirelength_dbu = gr.wirelength_dbu * detour;
+  (void)forest;
+  return result;
+}
+
+}  // namespace tsteiner

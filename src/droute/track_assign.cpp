@@ -1,0 +1,105 @@
+#include "droute/track_assign.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace tsteiner {
+
+namespace {
+
+/// Greedy interval partitioning of one row's runs over k tracks; returns
+/// the number of uncolorable runs and writes track ids.
+long long color_row(std::vector<WireRun*>& row_runs, int k) {
+  std::sort(row_runs.begin(), row_runs.end(),
+            [](const WireRun* a, const WireRun* b) { return a->lo < b->lo; });
+  // min-heap of (last occupied hi, track id)
+  using Slot = std::pair<int, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> busy;
+  std::vector<int> free_tracks;
+  for (int t = k - 1; t >= 0; --t) free_tracks.push_back(t);
+  long long violations = 0;
+  for (WireRun* run : row_runs) {
+    while (!busy.empty() && busy.top().first < run->lo) {
+      free_tracks.push_back(busy.top().second);
+      busy.pop();
+    }
+    if (free_tracks.empty()) {
+      run->track = -1;
+      ++violations;
+      continue;
+    }
+    run->track = free_tracks.back();
+    free_tracks.pop_back();
+    busy.push({run->hi, run->track});
+  }
+  return violations;
+}
+
+}  // namespace
+
+TrackAssignResult assign_tracks(const GlobalRouteResult& gr, int tracks_per_row) {
+  TrackAssignResult result;
+  const GridGraph& grid = gr.grid;
+  if (tracks_per_row > 0) {
+    result.h_tracks = tracks_per_row;
+    result.v_tracks = tracks_per_row;
+  } else {
+    result.h_tracks = std::max(1, static_cast<int>(grid.h_capacity()));
+    result.v_tracks = std::max(1, static_cast<int>(grid.v_capacity()));
+  }
+  result.h_row_violations.assign(static_cast<std::size_t>(grid.ny()), 0);
+  result.v_col_violations.assign(static_cast<std::size_t>(grid.nx()), 0);
+
+  // Decompose paths into maximal straight runs.
+  for (std::size_t c = 0; c < gr.connections.size(); ++c) {
+    const auto& path = gr.connections[c].path;
+    std::size_t i = 1;
+    while (i < path.size()) {
+      const bool horiz = path[i].y == path[i - 1].y;
+      std::size_t j = i;
+      while (j + 1 < path.size() &&
+             ((path[j + 1].y == path[j].y) == horiz) &&
+             ((path[j + 1].x == path[j].x) != horiz)) {
+        ++j;
+      }
+      WireRun run;
+      run.connection = static_cast<int>(c);
+      run.horizontal = horiz;
+      if (horiz) {
+        run.row = path[i - 1].y;
+        run.lo = std::min(path[i - 1].x, path[j].x);
+        run.hi = std::max(path[i - 1].x, path[j].x);
+      } else {
+        run.row = path[i - 1].x;
+        run.lo = std::min(path[i - 1].y, path[j].y);
+        run.hi = std::max(path[i - 1].y, path[j].y);
+      }
+      result.runs.push_back(run);
+      i = j + 1;
+    }
+  }
+
+  // Group and color per row / column.
+  std::vector<std::vector<WireRun*>> h_rows(static_cast<std::size_t>(grid.ny()));
+  std::vector<std::vector<WireRun*>> v_cols(static_cast<std::size_t>(grid.nx()));
+  for (WireRun& r : result.runs) {
+    if (r.horizontal) {
+      h_rows[static_cast<std::size_t>(r.row)].push_back(&r);
+    } else {
+      v_cols[static_cast<std::size_t>(r.row)].push_back(&r);
+    }
+  }
+  for (int y = 0; y < grid.ny(); ++y) {
+    const long long v = color_row(h_rows[static_cast<std::size_t>(y)], result.h_tracks);
+    result.h_row_violations[static_cast<std::size_t>(y)] = static_cast<int>(v);
+    result.num_violations += v;
+  }
+  for (int x = 0; x < grid.nx(); ++x) {
+    const long long v = color_row(v_cols[static_cast<std::size_t>(x)], result.v_tracks);
+    result.v_col_violations[static_cast<std::size_t>(x)] = static_cast<int>(v);
+    result.num_violations += v;
+  }
+  return result;
+}
+
+}  // namespace tsteiner

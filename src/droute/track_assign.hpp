@@ -1,0 +1,42 @@
+// Track assignment: distribute the global-route wire runs within each
+// routing row/column onto discrete tracks (the paper's refs [8], [9] operate
+// at this stage).
+//
+// Every maximal straight run of a routed connection becomes an interval on
+// its row (horizontal) or column (vertical). Within a row, overlapping
+// intervals need distinct tracks; with `k` tracks available the greedy
+// interval-partitioning algorithm (sort by left end, reuse the earliest-
+// finishing track) is optimal. Runs that cannot be colored are track
+// violations — the detailed-routing surrogate's primary DRV source.
+#pragma once
+
+#include <vector>
+
+#include "route/global_router.hpp"
+
+namespace tsteiner {
+
+struct WireRun {
+  int connection = -1;
+  bool horizontal = true;
+  int row = 0;  ///< gcell y for horizontal runs, x for vertical
+  int lo = 0;   ///< inclusive gcell range along the run
+  int hi = 0;
+  int track = -1;  ///< assigned track, or -1 if the run overflowed
+};
+
+struct TrackAssignResult {
+  std::vector<WireRun> runs;
+  long long num_violations = 0;  ///< runs without a legal track
+  /// Violations per row/column, for the repair loop's spill heuristic.
+  std::vector<int> h_row_violations;  ///< size ny
+  std::vector<int> v_col_violations;  ///< size nx
+  int h_tracks = 0;  ///< tracks available per horizontal row
+  int v_tracks = 0;  ///< tracks available per vertical column
+};
+
+/// `tracks_per_row` <= 0 derives per-direction track counts from the grid's
+/// H/V capacities; > 0 forces the same count for both directions.
+TrackAssignResult assign_tracks(const GlobalRouteResult& gr, int tracks_per_row = 0);
+
+}  // namespace tsteiner

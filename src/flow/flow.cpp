@@ -1,0 +1,99 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace tsteiner {
+
+namespace {
+
+/// Congestion cost of an L-route between two points, sampled on the grid;
+/// used to drive edge shifting toward less congested regions.
+double l_route_congestion(const GridGraph& grid, const PointF& a, const PointF& b) {
+  GCell ga = grid.gcell_at(a);
+  const GCell gb = grid.gcell_at(b);
+  double cost = 0.0;
+  // x-first walk; congestion starts costing at 50% utilization, like
+  // FastRoute's aggressive congestion-driven shifting.
+  while (ga.x != gb.x) {
+    const GCell next{ga.x + (gb.x > ga.x ? 1 : -1), ga.y};
+    cost += std::max(0.0, grid.congestion_between(ga, next) - 0.3);
+    ga = next;
+  }
+  while (ga.y != gb.y) {
+    const GCell next{ga.x, ga.y + (gb.y > ga.y ? 1 : -1)};
+    cost += std::max(0.0, grid.congestion_between(ga, next) - 0.3);
+    ga = next;
+  }
+  return cost;
+}
+
+}  // namespace
+
+Flow::Flow(Design* design, const FlowOptions& options)
+    : design_(design), options_(options) {
+  // 1. Initial Steiner trees (FLUTE substitute).
+  initial_forest_ = build_forest(*design_, options_.rsmt);
+
+  // 2. Clock calibration from a pre-routing STA so every design starts with
+  //    realistic negative slack (the paper's designs all violate timing).
+  const StaResult pre = run_sta(*design_, initial_forest_, nullptr, options_.sta);
+  design_->set_clock_period(std::max(0.05, options_.clock_tightness * pre.max_arrival));
+
+  // 3. Probe route on the raw forest: calibrates capacities (pinned for all
+  //    later runs) and provides the congestion map for edge shifting.
+  RouterOptions probe = options_.router;
+  probe.fixed_h_cap = 0.0;
+  probe.fixed_v_cap = 0.0;
+  const GlobalRouteResult probe_route = global_route(*design_, initial_forest_, probe);
+  options_.router.fixed_h_cap = probe_route.calibrated_h_cap;
+  options_.router.fixed_v_cap = probe_route.calibrated_v_cap;
+
+  // 4. Edge shifting [17] against the probe congestion.
+  if (options_.edge_shifting) {
+    const GridGraph& grid = probe_route.grid;
+    EdgeShiftOptions shift;
+    shift.passes = 3;
+    // Congestion relief outranks wirelength — FastRoute-style shifting under
+    // pressure trades real wirelength (and with it, timing) for routability.
+    // This is the timing-blind baseline the paper's TSteiner stage recovers.
+    shift.wirelength_slack = 0.30;
+    const int moves = edge_shift_forest(
+        initial_forest_,
+        [&grid](const PointF& a, const PointF& b) { return l_route_congestion(grid, a, b); },
+        shift);
+    TS_VERBOSE("%s: edge shifting moved %d Steiner points", design_->name().c_str(), moves);
+  }
+  initial_forest_.build_movable_index();
+}
+
+FlowResult Flow::run_signoff(const SteinerForest& forest) const {
+  FlowResult r;
+  WallTimer timer;
+  r.gr = global_route(*design_, forest, options_.router);
+  r.runtime.global_route_s = timer.seconds();
+
+  timer.reset();
+  const DetailedRouteResult dr = detailed_route(*design_, forest, r.gr, options_.droute);
+  r.runtime.detailed_route_s = timer.seconds();
+
+  timer.reset();
+  r.sta = run_sta(*design_, forest, &r.gr, options_.sta);
+  r.runtime.sta_s = timer.seconds();
+
+  r.metrics.wns_ns = r.sta.wns;
+  r.metrics.tns_ns = r.sta.tns;
+  r.metrics.num_vios = r.sta.num_violations;
+  r.metrics.wirelength_dbu = dr.wirelength_dbu;
+  r.metrics.num_vias = dr.num_vias;
+  r.metrics.num_drvs = dr.num_drvs;
+  return r;
+}
+
+StaResult Flow::run_preroute_sta(const SteinerForest& forest) const {
+  return run_sta(*design_, forest, nullptr, options_.sta);
+}
+
+}  // namespace tsteiner

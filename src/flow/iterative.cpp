@@ -1,0 +1,51 @@
+#include "flow/iterative.hpp"
+
+#include "util/log.hpp"
+
+namespace tsteiner {
+
+IterativeResult iterative_refine(const PreparedDesign& pd, TimingGnn* model,
+                                 const IterativeOptions& options) {
+  IterativeResult result;
+  const FlowResult base = pd.flow->run_signoff(pd.flow->initial_forest());
+  result.initial = base.metrics;
+  result.best = base.metrics;
+  result.forest = pd.flow->initial_forest();
+
+  std::vector<TrainingSample> samples;
+  samples.push_back(make_training_sample(pd, pd.flow->initial_forest()));
+
+  Trainer trainer(model, options.finetune);
+  RefineOptions ropts = options.refine;
+  ropts.gcell_size = pd.flow->options().router.gcell_size;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    const RefineResult refined =
+        refine_steiner_points(*pd.design, result.forest, *model, ropts);
+    const FlowResult signoff = pd.flow->run_signoff(refined.forest);
+    result.wns_per_round.push_back(signoff.metrics.wns_ns);
+    ++result.rounds_run;
+    TS_VERBOSE("iterative round %d: true WNS %.3f (best %.3f)", round,
+               signoff.metrics.wns_ns, result.best.wns_ns);
+    if (signoff.metrics.wns_ns > result.best.wns_ns ||
+        signoff.metrics.tns_ns > result.best.tns_ns) {
+      result.best = signoff.metrics;
+      result.forest = refined.forest;
+    }
+    if (round + 1 == options.rounds) break;
+    // Fine-tune on the newly labeled solution (plus the history) so the next
+    // round's gradients are accurate around the current iterate.
+    TrainingSample s;
+    s.design_name = pd.spec.name;
+    s.cache = pd.cache;
+    s.xs = refined.forest.gather_x();
+    s.ys = refined.forest.gather_y();
+    s.arrival_label = signoff.sta.arrival;
+    s.endpoint_pins = signoff.sta.endpoints;
+    samples.push_back(std::move(s));
+    for (int e = 0; e < options.finetune_epochs; ++e) trainer.train_epoch(samples);
+  }
+  return result;
+}
+
+}  // namespace tsteiner

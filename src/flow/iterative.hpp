@@ -1,0 +1,39 @@
+// Iterative TSteiner (extension, cf. the paper's future-work remark about
+// extending refinement deeper into the flow).
+//
+// Vanilla TSteiner trains once and trusts the evaluator everywhere; its
+// accuracy decays far from the training distribution. This extension closes
+// the loop: each round refines, runs the *golden* sign-off flow on the
+// refined trees (one extra labeled sample — exactly the data the flow
+// produces anyway), fine-tunes the evaluator on it, and refines again from
+// the best true solution seen. Strictly more sign-off calls than the paper's
+// one-shot scheme (rounds x 1 instead of 1), still far fewer than classical
+// PnR iteration.
+#pragma once
+
+#include "flow/experiment.hpp"
+#include "tsteiner/refine.hpp"
+
+namespace tsteiner {
+
+struct IterativeOptions {
+  int rounds = 3;
+  int finetune_epochs = 8;
+  RefineOptions refine;
+  TrainOptions finetune;
+};
+
+struct IterativeResult {
+  SteinerForest forest;  ///< best true-sign-off forest observed
+  SignoffMetrics best;
+  SignoffMetrics initial;
+  std::vector<double> wns_per_round;  ///< true sign-off WNS after each round
+  int rounds_run = 0;
+};
+
+/// Runs the closed-loop refinement. `model` is fine-tuned in place (pass a
+/// copy if the original must stay untouched).
+IterativeResult iterative_refine(const PreparedDesign& pd, TimingGnn* model,
+                                 const IterativeOptions& options = {});
+
+}  // namespace tsteiner

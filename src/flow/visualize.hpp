@@ -1,0 +1,29 @@
+// Visualization: renders a placed design with its Steiner forest and,
+// optionally, the routing congestion heatmap to an SVG file. Useful for
+// inspecting what TSteiner moved and where congestion concentrates.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "route/global_router.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+struct VisualizeOptions {
+  bool draw_cells = true;
+  bool draw_trees = true;
+  bool draw_congestion = true;  ///< requires a grid
+  /// Highlight Steiner nodes whose position differs from `reference` (the
+  /// pre-refinement forest) by more than this distance.
+  double moved_highlight_dist = 1.0;
+};
+
+/// Render to SVG. `grid` may be null (no heatmap); `reference` may be null
+/// (no moved-point highlighting).
+bool render_design_svg(const Design& design, const SteinerForest& forest,
+                       const GridGraph* grid, const SteinerForest* reference,
+                       const std::string& path, const VisualizeOptions& options = {});
+
+}  // namespace tsteiner

@@ -1,0 +1,23 @@
+// Model parameter serialization: lets a trained evaluator be cached on disk
+// and shared across bench binaries (training dominates suite runtime).
+// Plain-text format with a config header; loading validates the header so a
+// stale cache (different architecture / library) is rejected.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gnn/model.hpp"
+
+namespace tsteiner {
+
+/// Write the model's configuration and parameters. `tag` is an arbitrary
+/// caller string (e.g. encoding training scale/epochs) validated on load.
+bool save_model(const TimingGnn& model, const std::string& path, const std::string& tag);
+
+/// Load parameters into a freshly constructed model. Returns nullopt if the
+/// file is missing, malformed, or its config/tag does not match.
+std::optional<TimingGnn> load_model(const std::string& path, const GnnConfig& config,
+                                    int num_cell_types, const std::string& tag);
+
+}  // namespace tsteiner

@@ -1,0 +1,235 @@
+#include "netlist/design_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsteiner {
+
+namespace {
+
+/// Weighted combinational type mix; tuned so the average inputs/cell lands
+/// near the 2.6 cell-edges-per-cell ratio of Table I.
+struct TypeMix {
+  std::vector<int> type_ids;
+  std::vector<double> cumulative;
+
+  TypeMix(const CellLibrary& lib) {
+    const std::vector<std::pair<const char*, double>> weights = {
+        {"INV_X1", 0.05}, {"INV_X2", 0.03}, {"INV_X4", 0.02}, {"BUF_X1", 0.03},
+        {"BUF_X2", 0.02}, {"NAND2_X1", 0.16}, {"NOR2_X1", 0.10}, {"AND2_X1", 0.08},
+        {"OR2_X1", 0.06}, {"XOR2_X1", 0.09}, {"AOI21_X1", 0.14}, {"OAI21_X1", 0.12},
+        {"MUX2_X1", 0.10}};
+    double acc = 0.0;
+    for (const auto& [name, w] : weights) {
+      const int id = lib.find(name);
+      if (id < 0) throw std::runtime_error(std::string("missing cell type ") + name);
+      acc += w;
+      type_ids.push_back(id);
+      cumulative.push_back(acc);
+    }
+  }
+
+  int sample(Rng& rng) const {
+    const double r = rng.uniform(0.0, cumulative.back());
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return type_ids[static_cast<std::size_t>(it - cumulative.begin())];
+  }
+};
+
+}  // namespace
+
+Design generate_design(const CellLibrary& lib, const GeneratorParams& params) {
+  if (params.num_comb_cells < 4 || params.num_registers < 1 ||
+      params.num_primary_inputs < 1 || params.num_primary_outputs < 1) {
+    throw std::runtime_error("generator parameters too small");
+  }
+  Rng rng(params.seed);
+  Design d(params.name, &lib);
+  const TypeMix mix(lib);
+
+  // Die sized from total cell area and target utilization, square aspect.
+  double total_area = 0.0;
+  {
+    // Expected area: sample the mix once to estimate, then add registers.
+    for (int i = 0; i < 256; ++i) total_area += lib.type(mix.sample(rng)).area;
+    total_area = total_area / 256.0 * params.num_comb_cells;
+    total_area += lib.type(lib.register_type()).area * params.num_registers;
+  }
+  const auto side = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(total_area / params.placement_utilization)));
+  d.set_die({{0, 0}, {std::max<std::int64_t>(side, 8), std::max<std::int64_t>(side, 8)}});
+
+  // Ports along the die boundary (PIs on the left edge, POs on the right).
+  std::vector<int> pi_pins;
+  std::vector<int> po_pins;
+  for (int i = 0; i < params.num_primary_inputs; ++i) {
+    const std::int64_t y = d.die().lo.y + (d.die().height() * (i + 1)) /
+                                              (params.num_primary_inputs + 1);
+    pi_pins.push_back(d.add_primary_input({d.die().lo.x, y}));
+  }
+  for (int i = 0; i < params.num_primary_outputs; ++i) {
+    const std::int64_t y = d.die().lo.y + (d.die().height() * (i + 1)) /
+                                              (params.num_primary_outputs + 1);
+    po_pins.push_back(d.add_primary_output({d.die().hi.x, y}));
+  }
+
+  // Registers first: their Q pins seed the source pool at timing level 0.
+  std::vector<int> reg_cells;
+  reg_cells.reserve(static_cast<std::size_t>(params.num_registers));
+  for (int i = 0; i < params.num_registers; ++i) {
+    reg_cells.push_back(d.add_cell(lib.register_type()));
+  }
+
+  // Source pool: pins that can drive combinational inputs, in creation
+  // order. `net_of_source` is created lazily, `fanout` tracks use so the
+  // generator can steer drivers toward unused outputs first.
+  struct Source {
+    int pin = -1;
+    int net = -1;
+    int fanout = 0;
+  };
+  std::vector<Source> sources;
+  auto add_source = [&](int pin_id) { sources.push_back({pin_id, -1, 0}); };
+  for (int p : pi_pins) add_source(p);
+  for (int c : reg_cells) add_source(d.cell(c).output_pin);
+
+  std::vector<std::size_t> unused;  // indices into `sources` with fanout == 0
+  for (std::size_t i = 0; i < sources.size(); ++i) unused.push_back(i);
+
+  // Control sources (reset/enable style): a few register outputs that fan
+  // out across the design.
+  std::vector<std::size_t> control;
+  for (int i = 0; i < params.num_control_sources && i < params.num_registers; ++i) {
+    control.push_back(static_cast<std::size_t>(pi_pins.size()) + static_cast<std::size_t>(i));
+  }
+
+  auto connect_from_source = [&](std::size_t src_idx, int sink_pin) {
+    Source& s = sources[src_idx];
+    if (s.net < 0) s.net = d.add_net(s.pin);
+    d.connect_sink(s.net, sink_pin);
+    ++s.fanout;
+  };
+
+  auto sample_source = [&](std::size_t exclude_after) -> std::size_t {
+    // Sample among sources created before `exclude_after` (prevents cycles:
+    // a cell may only read pins created before its own output).
+    const auto n = static_cast<std::int64_t>(exclude_after);
+    if (n <= 0) throw std::runtime_error("no sources available");
+    if (!control.empty() && rng.bernoulli(params.control_pick_prob)) {
+      const std::size_t c = control[rng.index(control.size())];
+      if (c < exclude_after) return c;
+    }
+    // Prefer unused sources half the time so few outputs dangle.
+    if (!unused.empty() && rng.bernoulli(0.5)) {
+      // Pop a random unused entry that is in range; tolerate stale ones.
+      for (int tries = 0; tries < 4 && !unused.empty(); ++tries) {
+        const std::size_t k = rng.index(unused.size());
+        const std::size_t idx = unused[k];
+        unused[k] = unused.back();
+        unused.pop_back();
+        if (idx < exclude_after && sources[idx].fanout == 0) return idx;
+      }
+    }
+    if (rng.bernoulli(params.global_pick_prob)) {
+      return static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    }
+    const auto window = std::max<std::int64_t>(
+        8, static_cast<std::int64_t>(params.locality_window_frac * static_cast<double>(n)));
+    const std::int64_t lo = std::max<std::int64_t>(0, n - window);
+    return static_cast<std::size_t>(rng.uniform_int(lo, n - 1));
+  };
+
+  // Combinational cells in creation order == topological order.
+  for (int i = 0; i < params.num_comb_cells; ++i) {
+    const int type_id = mix.sample(rng);
+    const int cid = d.add_cell(type_id);
+    const Cell& c = d.cell(cid);
+    const std::size_t limit = sources.size();
+    for (int in_pin : c.input_pins) {
+      connect_from_source(sample_source(limit), in_pin);
+    }
+    add_source(c.output_pin);
+    unused.push_back(sources.size() - 1);
+  }
+
+  // Register D inputs close the sequential loop; bias toward late sources so
+  // paths span the full combinational depth.
+  for (int rc : reg_cells) {
+    const std::size_t n = sources.size();
+    std::size_t idx;
+    if (rng.bernoulli(0.7)) {
+      const auto lo = static_cast<std::int64_t>(n / 2);
+      idx = static_cast<std::size_t>(rng.uniform_int(lo, static_cast<std::int64_t>(n) - 1));
+    } else {
+      idx = sample_source(n);
+    }
+    connect_from_source(idx, d.cell(rc).input_pins[0]);
+  }
+
+  // Primary outputs.
+  for (int po : po_pins) {
+    const std::size_t n = sources.size();
+    const auto lo = static_cast<std::int64_t>((3 * n) / 4);
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(lo, static_cast<std::int64_t>(n) - 1));
+    connect_from_source(idx, po);
+  }
+
+  // Tie any still-dangling combinational outputs to freshly added POs so
+  // every net has at least one sink (dangling logic would be swept in a real
+  // flow; here we keep it live to preserve the target cell count).
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    Source& s = sources[i];
+    if (s.fanout > 0) continue;
+    const Pin& p = d.pin(s.pin);
+    if (p.kind == PinKind::kPrimaryInput) continue;  // unused PI is harmless
+    const std::int64_t y =
+        d.die().lo.y + rng.uniform_int(0, d.die().height());
+    const int po = d.add_primary_output({d.die().hi.x, y});
+    connect_from_source(i, po);
+  }
+
+  // Provisional clock: refined by the flow after the first sign-off run.
+  d.set_clock_period(1.0);
+  d.validate();
+  return d;
+}
+
+std::vector<BenchmarkSpec> benchmark_suite() {
+  // Cell and endpoint counts from Table I; the upper six train, lower four
+  // test (paper's split).
+  return {
+      {"chacha", 15700, 1972, true, 101},
+      {"cic_decimator", 781, 130, true, 102},
+      {"APU", 2897, 427, true, 103},
+      {"des", 14652, 2048, true, 104},
+      {"jpeg_encoder", 55264, 4420, true, 105},
+      {"spm", 238, 129, true, 106},
+      {"aes_cipher", 11532, 659, false, 107},
+      {"picorv32a", 13622, 1879, false, 108},
+      {"usb_cdc_core", 1642, 626, false, 109},
+      {"des3", 47410, 8872, false, 110},
+  };
+}
+
+GeneratorParams params_for(const BenchmarkSpec& spec, double scale) {
+  if (scale <= 0.0 || scale > 1.0) throw std::runtime_error("scale must be in (0, 1]");
+  GeneratorParams p;
+  p.name = spec.name;
+  const auto scaled = [&](int v, int lo) {
+    return std::max(lo, static_cast<int>(std::lround(v * scale)));
+  };
+  const int endpoints = scaled(spec.endpoints, 12);
+  p.num_comb_cells = scaled(spec.target_cells, 64);
+  p.num_registers = std::max(8, (endpoints * 9) / 10);
+  p.num_comb_cells = std::max(32, p.num_comb_cells - p.num_registers);
+  p.num_primary_outputs = std::max(4, endpoints - p.num_registers);
+  p.num_primary_inputs = std::max(4, p.num_primary_outputs);
+  p.num_control_sources =
+      std::clamp(p.num_comb_cells / 1200, 1, 6);
+  p.seed = spec.seed;
+  return p;
+}
+
+}  // namespace tsteiner

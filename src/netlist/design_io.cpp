@@ -1,0 +1,123 @@
+#include "netlist/design_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tsteiner {
+
+void write_design(const Design& design, std::ostream& out) {
+  out << "tsteiner-design-v1\n";
+  out << "name " << design.name() << '\n';
+  out << "die " << design.die().lo.x << ' ' << design.die().lo.y << ' ' << design.die().hi.x
+      << ' ' << design.die().hi.y << '\n';
+  out.precision(17);
+  out << "clock " << design.clock_period() << '\n';
+
+  // Objects in pin-creation order: cells appear at their first pin, ports at
+  // their own pin.
+  out << "objects\n";
+  int last_cell = -1;
+  for (const Pin& p : design.pins()) {
+    if (p.cell >= 0) {
+      if (p.cell == last_cell) continue;
+      last_cell = p.cell;
+      const Cell& c = design.cell(p.cell);
+      out << "cell " << design.library().type(c.type).name << ' ' << c.pos.x << ' '
+          << c.pos.y << '\n';
+    } else if (p.kind == PinKind::kPrimaryInput) {
+      out << "pi " << p.port_pos.x << ' ' << p.port_pos.y << '\n';
+    } else {
+      out << "po " << p.port_pos.x << ' ' << p.port_pos.y << '\n';
+    }
+  }
+  out << "end_objects\n";
+
+  out << "nets " << design.nets().size() << '\n';
+  for (const Net& n : design.nets()) {
+    out << n.driver_pin << ' ' << n.sink_pins.size();
+    for (int s : n.sink_pins) out << ' ' << s;
+    out << '\n';
+  }
+}
+
+bool write_design_file(const Design& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_design(design, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Design> read_design(std::istream& in, const CellLibrary& library) {
+  std::string line;
+  if (!std::getline(in, line) || line != "tsteiner-design-v1") return std::nullopt;
+  std::string key, name;
+  if (!(in >> key >> name) || key != "name") return std::nullopt;
+
+  Design d(name, &library);
+  RectI die;
+  if (!(in >> key >> die.lo.x >> die.lo.y >> die.hi.x >> die.hi.y) || key != "die") {
+    return std::nullopt;
+  }
+  d.set_die(die);
+  double clock = 1.0;
+  if (!(in >> key >> clock) || key != "clock") return std::nullopt;
+  d.set_clock_period(clock);
+
+  if (!(in >> key) || key != "objects") return std::nullopt;
+  while (in >> key && key != "end_objects") {
+    if (key == "cell") {
+      std::string type_name;
+      PointI pos;
+      if (!(in >> type_name >> pos.x >> pos.y)) return std::nullopt;
+      const int type_id = library.find(type_name);
+      if (type_id < 0) return std::nullopt;
+      const int cid = d.add_cell(type_id);
+      d.cell(cid).pos = pos;
+    } else if (key == "pi" || key == "po") {
+      PointI pos;
+      if (!(in >> pos.x >> pos.y)) return std::nullopt;
+      if (key == "pi") {
+        d.add_primary_input(pos);
+      } else {
+        d.add_primary_output(pos);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (key != "end_objects") return std::nullopt;
+
+  std::size_t num_nets = 0;
+  if (!(in >> key >> num_nets) || key != "nets") return std::nullopt;
+  for (std::size_t i = 0; i < num_nets; ++i) {
+    int driver = -1;
+    std::size_t sinks = 0;
+    if (!(in >> driver >> sinks)) return std::nullopt;
+    if (driver < 0 || driver >= static_cast<int>(d.pins().size())) return std::nullopt;
+    int net = -1;
+    try {
+      net = d.add_net(driver);
+      for (std::size_t s = 0; s < sinks; ++s) {
+        int sink = -1;
+        if (!(in >> sink)) return std::nullopt;
+        d.connect_sink(net, sink);
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  try {
+    d.validate();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return d;
+}
+
+std::optional<Design> read_design_file(const std::string& path, const CellLibrary& library) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_design(in, library);
+}
+
+}  // namespace tsteiner

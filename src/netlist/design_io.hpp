@@ -1,0 +1,25 @@
+// Plain-text design serialization (a DEF/Verilog stand-in).
+//
+// Round-trips everything the flow consumes: cell types and placements, port
+// positions, net connectivity, die and clock. The on-disk format preserves
+// object creation order so pin ids — which every other artifact (forests,
+// STA labels) references — are identical after a load.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tsteiner {
+
+void write_design(const Design& design, std::ostream& out);
+bool write_design_file(const Design& design, const std::string& path);
+
+/// Returns nullopt on malformed input; the library must contain every cell
+/// type named in the file.
+std::optional<Design> read_design(std::istream& in, const CellLibrary& library);
+std::optional<Design> read_design_file(const std::string& path, const CellLibrary& library);
+
+}  // namespace tsteiner

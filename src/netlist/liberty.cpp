@@ -1,0 +1,158 @@
+#include "netlist/liberty.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsteiner {
+
+Lut2::Lut2(std::vector<double> slew_axis, std::vector<double> load_axis,
+           std::vector<double> values)
+    : slew_axis_(std::move(slew_axis)),
+      load_axis_(std::move(load_axis)),
+      values_(std::move(values)) {
+  assert(!slew_axis_.empty() && !load_axis_.empty());
+  assert(values_.size() == slew_axis_.size() * load_axis_.size());
+  assert(std::is_sorted(slew_axis_.begin(), slew_axis_.end()));
+  assert(std::is_sorted(load_axis_.begin(), load_axis_.end()));
+}
+
+namespace {
+
+/// Locate x on a sorted axis; returns (lower index, interpolation fraction),
+/// clamped to the table boundary.
+std::pair<std::size_t, double> locate(const std::vector<double>& axis, double x) {
+  if (axis.size() == 1 || x <= axis.front()) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (x - axis[lo]) / (axis[hi] - axis[lo]);
+  return {lo, frac};
+}
+
+}  // namespace
+
+double Lut2::lookup(double slew, double load) const {
+  const auto [si, sf] = locate(slew_axis_, slew);
+  const auto [li, lf] = locate(load_axis_, load);
+  const std::size_t cols = load_axis_.size();
+  const std::size_t si1 = std::min(si + 1, slew_axis_.size() - 1);
+  const std::size_t li1 = std::min(li + 1, cols - 1);
+  const double v00 = values_[si * cols + li];
+  const double v01 = values_[si * cols + li1];
+  const double v10 = values_[si1 * cols + li];
+  const double v11 = values_[si1 * cols + li1];
+  const double v0 = v00 * (1.0 - lf) + v01 * lf;
+  const double v1 = v10 * (1.0 - lf) + v11 * lf;
+  return v0 * (1.0 - sf) + v1 * sf;
+}
+
+namespace {
+
+// Characterization model used to fill the NLDM grids. Mirrors the usual
+// first-order gate model: delay = intrinsic + R_drive * C_load + k_s * slew.
+Lut2 make_delay_table(double intrinsic_ns, double r_kohm, double slew_coeff) {
+  const std::vector<double> slews = {0.005, 0.02, 0.06, 0.15, 0.40};
+  const std::vector<double> loads = {0.001, 0.004, 0.012, 0.035, 0.10, 0.25};
+  std::vector<double> v;
+  v.reserve(slews.size() * loads.size());
+  for (double s : slews) {
+    for (double c : loads) {
+      v.push_back(intrinsic_ns + r_kohm * c + slew_coeff * s);
+    }
+  }
+  return Lut2(slews, loads, std::move(v));
+}
+
+// Output slew = base + R * C * k, mildly dependent on input slew.
+Lut2 make_slew_table(double base_ns, double r_kohm) {
+  const std::vector<double> slews = {0.005, 0.02, 0.06, 0.15, 0.40};
+  const std::vector<double> loads = {0.001, 0.004, 0.012, 0.035, 0.10, 0.25};
+  std::vector<double> v;
+  v.reserve(slews.size() * loads.size());
+  for (double s : slews) {
+    for (double c : loads) {
+      v.push_back(base_ns + 1.6 * r_kohm * c + 0.1 * s);
+    }
+  }
+  return Lut2(slews, loads, std::move(v));
+}
+
+CellType make_comb(const std::string& name, int inputs, double intrinsic, double r_kohm,
+                   double in_cap, double area) {
+  CellType t;
+  t.name = name;
+  t.num_inputs = inputs;
+  t.input_cap_pf = in_cap;
+  t.drive_res_kohm = r_kohm;
+  t.area = area;
+  for (int i = 0; i < inputs; ++i) {
+    TimingArc arc;
+    arc.from_input = i;
+    // Later inputs of multi-input gates are slightly faster (closer to the
+    // output stack), like real libraries.
+    const double adj = 1.0 - 0.06 * static_cast<double>(i);
+    arc.delay = make_delay_table(intrinsic * adj, r_kohm, 0.35);
+    arc.out_slew = make_slew_table(0.006, r_kohm);
+    t.arcs.push_back(std::move(arc));
+  }
+  return t;
+}
+
+}  // namespace
+
+int CellLibrary::add(CellType t) {
+  types_.push_back(std::move(t));
+  return static_cast<int>(types_.size()) - 1;
+}
+
+CellLibrary CellLibrary::make_default() {
+  CellLibrary lib;
+  // name, #in, intrinsic (ns), drive R (kOhm), input cap (pF), area
+  auto add_comb = [&lib](const std::string& n, int in, double d, double r, double c,
+                         double a) {
+    const int id = lib.add(make_comb(n, in, d, r, c, a));
+    lib.comb_types_.push_back(id);
+  };
+  add_comb("INV_X1", 1, 0.020, 2.2, 0.0018, 1.0);
+  add_comb("INV_X2", 1, 0.018, 1.2, 0.0034, 1.5);
+  add_comb("INV_X4", 1, 0.016, 0.7, 0.0062, 2.5);
+  add_comb("BUF_X1", 1, 0.042, 1.8, 0.0016, 2.0);
+  add_comb("BUF_X2", 1, 0.038, 1.0, 0.0030, 3.0);
+  add_comb("NAND2_X1", 2, 0.028, 2.4, 0.0021, 2.0);
+  add_comb("NOR2_X1", 2, 0.034, 2.8, 0.0021, 2.0);
+  add_comb("AND2_X1", 2, 0.052, 2.0, 0.0019, 2.5);
+  add_comb("OR2_X1", 2, 0.056, 2.0, 0.0019, 2.5);
+  add_comb("XOR2_X1", 2, 0.068, 2.6, 0.0042, 3.5);
+  add_comb("AOI21_X1", 3, 0.044, 2.9, 0.0023, 3.0);
+  add_comb("OAI21_X1", 3, 0.046, 2.9, 0.0023, 3.0);
+  add_comb("MUX2_X1", 3, 0.060, 2.3, 0.0030, 4.0);
+
+  CellType dff;
+  dff.name = "DFF_X1";
+  dff.num_inputs = 1;  // D only; the clock is ideal in this reproduction
+  dff.is_register = true;
+  dff.input_cap_pf = 0.0026;
+  dff.drive_res_kohm = 1.4;
+  dff.area = 6.0;
+  dff.setup_ns = 0.055;
+  TimingArc ck2q;  // stored as arcs[0]: clock-to-Q
+  ck2q.from_input = 0;
+  ck2q.delay = make_delay_table(0.110, 1.4, 0.0);
+  ck2q.out_slew = make_slew_table(0.010, 1.4);
+  dff.arcs.push_back(std::move(ck2q));
+  lib.register_type_ = lib.add(std::move(dff));
+
+  return lib;
+}
+
+int CellLibrary::find(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tsteiner

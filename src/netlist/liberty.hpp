@@ -1,0 +1,91 @@
+// A compact liberty-like standard-cell library with NLDM-style lookup
+// tables.
+//
+// The paper signs off with Cadence Innovus on the SkyWater 130nm PDK; this
+// reproduction substitutes a programmatically generated library whose delay
+// and slew tables have the same shape (2-D lookup over input slew x output
+// load, bilinearly interpolated, clamped extrapolation). Units: ns, pF, kOhm,
+// distances in DBU (1 DBU ~ one placement site).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsteiner {
+
+/// 2-D NLDM table indexed by (input slew, output load). Bilinear
+/// interpolation inside the grid; clamped at the boundary like commercial
+/// timers do when extrapolation is disabled.
+class Lut2 {
+ public:
+  Lut2() = default;
+  Lut2(std::vector<double> slew_axis, std::vector<double> load_axis,
+       std::vector<double> values);  // values row-major: [slew][load]
+
+  double lookup(double slew, double load) const;
+
+  const std::vector<double>& slew_axis() const { return slew_axis_; }
+  const std::vector<double>& load_axis() const { return load_axis_; }
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;
+};
+
+/// One timing arc: from an input pin of the cell to its output pin.
+struct TimingArc {
+  int from_input = 0;  ///< index among the cell's input pins
+  Lut2 delay;          ///< arc delay (ns)
+  Lut2 out_slew;       ///< output transition (ns)
+};
+
+/// A cell type (one output pin; registers expose D->setup and CK->Q arcs).
+struct CellType {
+  std::string name;
+  int num_inputs = 0;
+  bool is_register = false;
+  double input_cap_pf = 0.002;   ///< per input pin
+  double drive_res_kohm = 1.0;   ///< characteristic output resistance
+  double area = 1.0;             ///< in placement sites
+  std::vector<TimingArc> arcs;   ///< combinational: one per input;
+                                 ///< register: arcs[0] = CK->Q
+  double setup_ns = 0.0;         ///< registers only
+};
+
+class CellLibrary {
+ public:
+  /// Build the default synthetic 130nm-flavoured library (inverters and
+  /// buffers in 3 drive strengths, NAND/NOR/AND/OR/XOR/AOI/OAI/MUX, DFF).
+  static CellLibrary make_default();
+
+  int find(const std::string& name) const;  ///< -1 if absent
+  const CellType& type(int id) const { return types_[static_cast<std::size_t>(id)]; }
+  int num_types() const { return static_cast<int>(types_.size()); }
+
+  /// Ids of combinational types, grouped for the design generator.
+  const std::vector<int>& combinational_types() const { return comb_types_; }
+  int register_type() const { return register_type_; }
+
+  /// Wire parasitics of the synthetic technology.
+  double wire_res_kohm_per_dbu() const { return wire_res_; }
+  double wire_cap_pf_per_dbu() const { return wire_cap_; }
+  double via_res_kohm() const { return via_res_; }
+
+ private:
+  int add(CellType t);
+
+  std::vector<CellType> types_;
+  std::vector<int> comb_types_;
+  int register_type_ = -1;
+  // Wire resistance is deliberately on the resistive side (thin-metal,
+  // older-node regime): path resistance must matter relative to driver
+  // resistance for Steiner topology to carry timing leverage — the regime
+  // the timing-driven Steiner-tree literature (paper refs [3], [4]) targets.
+  double wire_res_ = 6.0e-2;  ///< kOhm per DBU
+  double wire_cap_ = 2.0e-4;  ///< pF per DBU
+  double via_res_ = 5.0e-3;   ///< kOhm per via
+};
+
+}  // namespace tsteiner

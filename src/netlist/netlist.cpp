@@ -1,0 +1,216 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace tsteiner {
+
+int Design::add_pin(Pin p) {
+  p.id = static_cast<int>(pins_.size());
+  pins_.push_back(std::move(p));
+  return pins_.back().id;
+}
+
+int Design::add_cell(int type_id, const std::string& name) {
+  const CellType& t = library_->type(type_id);
+  Cell c;
+  c.id = static_cast<int>(cells_.size());
+  c.type = type_id;
+  c.name = name.empty() ? t.name + "_" + std::to_string(c.id) : name;
+  for (int i = 0; i < t.num_inputs; ++i) {
+    Pin p;
+    p.kind = PinKind::kCellInput;
+    p.cell = c.id;
+    p.input_slot = i;
+    c.input_pins.push_back(add_pin(p));
+  }
+  Pin out;
+  out.kind = PinKind::kCellOutput;
+  out.cell = c.id;
+  c.output_pin = add_pin(out);
+  cells_.push_back(std::move(c));
+  return cells_.back().id;
+}
+
+int Design::add_primary_input(PointI pos, const std::string& name) {
+  Pin p;
+  p.kind = PinKind::kPrimaryInput;
+  p.port_pos = pos;
+  (void)name;
+  return add_pin(p);
+}
+
+int Design::add_primary_output(PointI pos, const std::string& name) {
+  Pin p;
+  p.kind = PinKind::kPrimaryOutput;
+  p.port_pos = pos;
+  (void)name;
+  return add_pin(p);
+}
+
+int Design::add_net(int driver_pin, const std::string& name) {
+  Pin& d = pins_[static_cast<std::size_t>(driver_pin)];
+  if (!d.is_output()) throw std::runtime_error("net driver must be an output pin or PI");
+  if (d.net != -1) throw std::runtime_error("driver pin already drives a net");
+  Net n;
+  n.id = static_cast<int>(nets_.size());
+  n.driver_pin = driver_pin;
+  n.name = name.empty() ? "net_" + std::to_string(n.id) : name;
+  d.net = n.id;
+  nets_.push_back(std::move(n));
+  return nets_.back().id;
+}
+
+void Design::connect_sink(int net_id, int sink_pin) {
+  Pin& s = pins_[static_cast<std::size_t>(sink_pin)];
+  if (s.is_output()) throw std::runtime_error("net sink must be an input pin or PO");
+  if (s.net != -1) throw std::runtime_error("sink pin already connected");
+  s.net = net_id;
+  nets_[static_cast<std::size_t>(net_id)].sink_pins.push_back(sink_pin);
+}
+
+void Design::disconnect_sink(int net_id, int sink_pin) {
+  Pin& s = pins_[static_cast<std::size_t>(sink_pin)];
+  if (s.net != net_id) throw std::runtime_error("pin is not a sink of this net");
+  Net& n = nets_[static_cast<std::size_t>(net_id)];
+  const auto it = std::find(n.sink_pins.begin(), n.sink_pins.end(), sink_pin);
+  if (it == n.sink_pins.end()) throw std::runtime_error("sink missing from net");
+  n.sink_pins.erase(it);
+  s.net = -1;
+}
+
+double Design::pin_cap(int pin_id) const {
+  const Pin& p = pin(pin_id);
+  switch (p.kind) {
+    case PinKind::kCellInput:
+      return cell_type(p.cell).input_cap_pf;
+    case PinKind::kPrimaryOutput:
+      return 0.004;  // output pad load
+    default:
+      return 0.0;  // outputs / PIs contribute no sink load
+  }
+}
+
+std::vector<int> Design::endpoint_pins() const {
+  std::vector<int> eps;
+  for (const Pin& p : pins_) {
+    if (p.kind == PinKind::kPrimaryOutput) {
+      eps.push_back(p.id);
+    } else if (p.kind == PinKind::kCellInput && is_register_cell(p.cell)) {
+      eps.push_back(p.id);
+    }
+  }
+  return eps;
+}
+
+std::vector<int> Design::startpoint_pins() const {
+  std::vector<int> sps;
+  for (const Pin& p : pins_) {
+    if (p.kind == PinKind::kPrimaryInput) {
+      sps.push_back(p.id);
+    } else if (p.kind == PinKind::kCellOutput && is_register_cell(p.cell)) {
+      sps.push_back(p.id);
+    }
+  }
+  return sps;
+}
+
+std::vector<int> Design::combinational_topo_order() const {
+  // Kahn's algorithm over combinational cells; an edge exists from cell A to
+  // cell B when A's output net has one of B's input pins as a sink.
+  std::vector<int> indeg(cells_.size(), 0);
+  for (const Cell& c : cells_) {
+    if (is_register_cell(c.id)) continue;
+    for (int in_pin : c.input_pins) {
+      const int net_id = pin(in_pin).net;
+      if (net_id < 0) continue;
+      const Pin& drv = pin(net(net_id).driver_pin);
+      if (drv.cell >= 0 && !is_register_cell(drv.cell)) ++indeg[static_cast<std::size_t>(c.id)];
+    }
+  }
+  std::queue<int> q;
+  for (const Cell& c : cells_) {
+    if (!is_register_cell(c.id) && indeg[static_cast<std::size_t>(c.id)] == 0) q.push(c.id);
+  }
+  std::vector<int> order;
+  order.reserve(cells_.size());
+  while (!q.empty()) {
+    const int cid = q.front();
+    q.pop();
+    order.push_back(cid);
+    const int out_net = pin(cell(cid).output_pin).net;
+    if (out_net < 0) continue;
+    for (int sink : net(out_net).sink_pins) {
+      const Pin& sp = pin(sink);
+      if (sp.cell < 0 || is_register_cell(sp.cell)) continue;
+      if (--indeg[static_cast<std::size_t>(sp.cell)] == 0) q.push(sp.cell);
+    }
+  }
+  std::size_t comb_count = 0;
+  for (const Cell& c : cells_) {
+    if (!is_register_cell(c.id)) ++comb_count;
+  }
+  if (order.size() != comb_count) throw std::runtime_error("combinational cycle detected");
+  return order;
+}
+
+std::vector<int> Design::pin_levels() const {
+  std::vector<int> level(pins_.size(), 0);
+  const std::vector<int> order = combinational_topo_order();
+  auto net_drive_level = [&](int net_id) {
+    return level[static_cast<std::size_t>(net(net_id).driver_pin)];
+  };
+  // Startpoints stay at level 0; propagate along topological cell order.
+  for (int cid : order) {
+    const Cell& c = cells_[static_cast<std::size_t>(cid)];
+    int out_level = 0;
+    for (int in_pin : c.input_pins) {
+      const int net_id = pin(in_pin).net;
+      if (net_id < 0) continue;
+      level[static_cast<std::size_t>(in_pin)] = net_drive_level(net_id);
+      out_level = std::max(out_level, level[static_cast<std::size_t>(in_pin)] + 1);
+    }
+    level[static_cast<std::size_t>(c.output_pin)] = out_level;
+  }
+  // Endpoint sinks (register D, POs) inherit their driver's level.
+  for (const Pin& p : pins_) {
+    if (p.net < 0 || p.is_output()) continue;
+    const bool is_endpoint = p.kind == PinKind::kPrimaryOutput ||
+                             (p.cell >= 0 && is_register_cell(p.cell));
+    if (is_endpoint) level[static_cast<std::size_t>(p.id)] = net_drive_level(p.net);
+  }
+  return level;
+}
+
+DesignStats Design::stats() const {
+  DesignStats s;
+  s.num_cells = static_cast<long long>(cells_.size());
+  for (const Net& n : nets_) s.num_net_edges += static_cast<long long>(n.sink_pins.size());
+  for (const Cell& c : cells_) {
+    if (!is_register_cell(c.id)) s.num_cell_edges += static_cast<long long>(c.input_pins.size());
+    else s.num_cell_edges += 1;  // CK->Q arc counted once
+  }
+  s.num_endpoints = static_cast<long long>(endpoint_pins().size());
+  return s;
+}
+
+void Design::validate() const {
+  for (const Net& n : nets_) {
+    if (n.driver_pin < 0) throw std::runtime_error("net without driver: " + n.name);
+    if (pin(n.driver_pin).net != n.id) throw std::runtime_error("driver/net mismatch: " + n.name);
+    for (int s : n.sink_pins) {
+      if (pin(s).net != n.id) throw std::runtime_error("sink/net mismatch: " + n.name);
+      if (pin(s).is_output()) throw std::runtime_error("output pin used as sink: " + n.name);
+    }
+  }
+  for (const Cell& c : cells_) {
+    for (int in_pin : c.input_pins) {
+      if (pin(in_pin).net < 0) throw std::runtime_error("unconnected input on " + c.name);
+    }
+    if (!die_.contains(c.pos)) throw std::runtime_error("cell outside die: " + c.name);
+  }
+  (void)combinational_topo_order();  // throws on cycles
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,65 @@
+// Van Ginneken buffer insertion on Steiner trees.
+//
+// The classical dynamic program: walk the RC tree bottom-up keeping, per
+// node, the set of non-dominated (downstream capacitance, worst delay to any
+// sink) options; at every candidate location a buffer may be inserted, which
+// resets the upstream capacitance to the buffer's input cap at the price of
+// the buffer's load-dependent delay. The driver picks the option minimizing
+// its own delay plus the downstream worst delay.
+//
+// Provided both as an analysis (what would buffering buy?) and as a netlist
+// transformation (apply_buffering inserts the buffer cells and splits the
+// net). Complements TSteiner: buffering changes the netlist, TSteiner only
+// moves auxiliary points — bench_ablation_buffering compares and stacks
+// them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+struct BufferingOptions {
+  /// Candidate buffer type (library name); empty picks "BUF_X2".
+  std::string buffer_type = "BUF_X2";
+  /// Also allow buffers at midpoints of edges longer than this (DBU);
+  /// <= 0 restricts candidates to existing tree nodes.
+  double split_edges_longer_than = 48.0;
+  /// Nominal input slew for buffer delay lookups.
+  double nominal_slew_ns = 0.05;
+  /// Keep at most this many non-dominated options per node.
+  int max_options = 64;
+};
+
+/// One planned insertion: on the tree path *into* `node` (i.e. between the
+/// node and its parent-side subtree) or at the node itself.
+struct BufferPlacement {
+  PointF pos;
+};
+
+struct BufferingPlan {
+  int net = -1;
+  std::vector<BufferPlacement> buffers;
+  double delay_before_ns = 0.0;  ///< driver-to-worst-sink Elmore + driver delay
+  double delay_after_ns = 0.0;   ///< with the planned buffers
+};
+
+/// Compute the optimal single-net buffering plan. The tree must belong to
+/// `design`'s net `tree.net`. Returns a plan with no buffers when buffering
+/// cannot improve the worst-sink delay.
+BufferingPlan plan_buffering(const Design& design, const SteinerTree& tree,
+                             const BufferingOptions& options = {});
+
+/// Apply a plan: inserts buffer cells into `design` (placed at the rounded
+/// buffer positions) and splits the net so that each buffer drives the
+/// subtree below its location. Returns the ids of the inserted cells.
+/// Invalidates any SteinerForest built for the old netlist — rebuild trees
+/// for the touched nets afterwards.
+std::vector<int> apply_buffering(Design& design, const BufferingPlan& plan,
+                                 const SteinerTree& tree,
+                                 const BufferingOptions& options = {});
+
+}  // namespace tsteiner

@@ -1,0 +1,297 @@
+#include "route/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/log.hpp"
+
+namespace tsteiner {
+
+int RoutedConnection::num_bends() const {
+  int bends = 0;
+  for (std::size_t i = 2; i < path.size(); ++i) {
+    const bool was_h = path[i - 1].y == path[i - 2].y && path[i - 1].x != path[i - 2].x;
+    const bool is_h = path[i].y == path[i - 1].y && path[i].x != path[i - 1].x;
+    if (was_h != is_h) ++bends;
+  }
+  return bends;
+}
+
+double RoutedConnection::length_dbu(const GridGraph& grid, const PointF& a,
+                                    const PointF& b) const {
+  if (path.size() <= 1) return manhattan(a, b);
+  return static_cast<double>(path.size() - 1) * static_cast<double>(grid.gcell_size());
+}
+
+namespace {
+
+/// Congestion cost of crossing one gcell edge with current usage u and
+/// capacity c: gentle below capacity, steep above (negotiated congestion).
+double edge_penalty(double usage, double cap, double history) {
+  const double util = usage / cap;
+  double p = 0.3 * util + history;
+  if (usage >= cap) p += 3.0 + 3.0 * (usage - cap + 1.0) / cap;
+  return p;
+}
+
+/// Walk an axis-aligned run of gcells from `from` toward `to` (same row or
+/// column), appending to path and adding usage.
+void commit_run(GridGraph& grid, std::vector<GCell>& path, GCell to) {
+  GCell cur = path.back();
+  while (!(cur == to)) {
+    GCell next = cur;
+    if (cur.x != to.x) {
+      next.x += to.x > cur.x ? 1 : -1;
+      grid.add_h_usage(std::min(cur.x, next.x), cur.y, 1.0);
+    } else {
+      next.y += to.y > cur.y ? 1 : -1;
+      grid.add_v_usage(cur.x, std::min(cur.y, next.y), 1.0);
+    }
+    path.push_back(next);
+    cur = next;
+  }
+}
+
+/// Cost of an axis-aligned run without committing it.
+double run_cost(const GridGraph& grid, GCell from, GCell to) {
+  double cost = 0.0;
+  GCell cur = from;
+  while (!(cur == to)) {
+    GCell next = cur;
+    if (cur.x != to.x) {
+      next.x += to.x > cur.x ? 1 : -1;
+      const int x = std::min(cur.x, next.x);
+      cost += 1.0 + edge_penalty(grid.h_usage(x, cur.y), grid.h_capacity(),
+                                 grid.h_history(x, cur.y));
+    } else {
+      next.y += to.y > cur.y ? 1 : -1;
+      const int y = std::min(cur.y, next.y);
+      cost += 1.0 + edge_penalty(grid.v_usage(cur.x, y), grid.v_capacity(),
+                                 grid.v_history(cur.x, y));
+    }
+    cur = next;
+  }
+  return cost;
+}
+
+/// Route a -> b with the cheaper of the two L-patterns; commits usage.
+std::vector<GCell> pattern_route(GridGraph& grid, GCell a, GCell b) {
+  std::vector<GCell> path{a};
+  if (a == b) return path;
+  const GCell corner1{b.x, a.y};  // x-first
+  const GCell corner2{a.x, b.y};  // y-first
+  const double c1 = run_cost(grid, a, corner1) + run_cost(grid, corner1, b);
+  const double c2 = run_cost(grid, a, corner2) + run_cost(grid, corner2, b);
+  const GCell corner = c1 <= c2 ? corner1 : corner2;
+  commit_run(grid, path, corner);
+  commit_run(grid, path, b);
+  return path;
+}
+
+void rip_up(GridGraph& grid, const std::vector<GCell>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const GCell& p = path[i - 1];
+    const GCell& q = path[i];
+    if (p.y == q.y) {
+      grid.add_h_usage(std::min(p.x, q.x), p.y, -1.0);
+    } else {
+      grid.add_v_usage(p.x, std::min(p.y, q.y), -1.0);
+    }
+  }
+}
+
+/// Dijkstra maze route within a window; commits usage. Falls back to the
+/// pattern route if the window somehow excludes a path (cannot happen for a
+/// bbox window, kept for safety).
+std::vector<GCell> maze_route(GridGraph& grid, GCell a, GCell b, int margin) {
+  if (a == b) return {a};
+  const int x_lo = std::max(0, std::min(a.x, b.x) - margin);
+  const int x_hi = std::min(grid.nx() - 1, std::max(a.x, b.x) + margin);
+  const int y_lo = std::max(0, std::min(a.y, b.y) - margin);
+  const int y_hi = std::min(grid.ny() - 1, std::max(a.y, b.y) + margin);
+  const int w = x_hi - x_lo + 1;
+  const int h = y_hi - y_lo + 1;
+  const auto idx = [&](int x, int y) {
+    return static_cast<std::size_t>(y - y_lo) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(x - x_lo);
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), kInf);
+  std::vector<int> prev(dist.size(), -1);
+  using QE = std::pair<double, std::size_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[idx(a.x, a.y)] = 0.0;
+  pq.push({0.0, idx(a.x, a.y)});
+  const std::size_t target = idx(b.x, b.y);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == target) break;
+    const int ux = x_lo + static_cast<int>(u % static_cast<std::size_t>(w));
+    const int uy = y_lo + static_cast<int>(u / static_cast<std::size_t>(w));
+    const auto relax = [&](int vx, int vy, double edge_cost) {
+      const std::size_t v = idx(vx, vy);
+      if (dist[u] + edge_cost < dist[v]) {
+        dist[v] = dist[u] + edge_cost;
+        prev[v] = static_cast<int>(u);
+        pq.push({dist[v], v});
+      }
+    };
+    if (ux > x_lo) {
+      relax(ux - 1, uy,
+            1.0 + edge_penalty(grid.h_usage(ux - 1, uy), grid.h_capacity(),
+                               grid.h_history(ux - 1, uy)));
+    }
+    if (ux < x_hi) {
+      relax(ux + 1, uy,
+            1.0 + edge_penalty(grid.h_usage(ux, uy), grid.h_capacity(),
+                               grid.h_history(ux, uy)));
+    }
+    if (uy > y_lo) {
+      relax(ux, uy - 1,
+            1.0 + edge_penalty(grid.v_usage(ux, uy - 1), grid.v_capacity(),
+                               grid.v_history(ux, uy - 1)));
+    }
+    if (uy < y_hi) {
+      relax(ux, uy + 1,
+            1.0 + edge_penalty(grid.v_usage(ux, uy), grid.v_capacity(),
+                               grid.v_history(ux, uy)));
+    }
+  }
+  if (dist[target] == kInf) return pattern_route(grid, a, b);
+  // Reconstruct, then commit.
+  std::vector<GCell> rev;
+  for (int v = static_cast<int>(target); v != -1; v = prev[static_cast<std::size_t>(v)]) {
+    rev.push_back({x_lo + static_cast<int>(static_cast<std::size_t>(v) % static_cast<std::size_t>(w)),
+                   y_lo + static_cast<int>(static_cast<std::size_t>(v) / static_cast<std::size_t>(w))});
+  }
+  std::reverse(rev.begin(), rev.end());
+  for (std::size_t i = 1; i < rev.size(); ++i) {
+    const GCell& p = rev[i - 1];
+    const GCell& q = rev[i];
+    if (p.y == q.y) {
+      grid.add_h_usage(std::min(p.x, q.x), p.y, 1.0);
+    } else {
+      grid.add_v_usage(p.x, std::min(p.y, q.y), 1.0);
+    }
+  }
+  return rev;
+}
+
+double p90(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const auto k = static_cast<std::ptrdiff_t>(0.9 * static_cast<double>(xs.size() - 1));
+  std::nth_element(xs.begin(), xs.begin() + k, xs.end());
+  return xs[static_cast<std::size_t>(k)];
+}
+
+}  // namespace
+
+GlobalRouteResult global_route(const Design& design, const SteinerForest& forest,
+                               const RouterOptions& options) {
+  GlobalRouteResult result{GridGraph(design.die(), options.gcell_size), {}, {}, 0, 0, 0, 0, 0, 0};
+  GridGraph& grid = result.grid;
+
+  // Initial pattern routing of every tree edge.
+  result.conn_of_edge.resize(forest.trees.size());
+  for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+    const SteinerTree& tree = forest.trees[t];
+    result.conn_of_edge[t].assign(tree.edges.size(), -1);
+    for (std::size_t e = 0; e < tree.edges.size(); ++e) {
+      const SteinerEdge& edge = tree.edges[e];
+      const GCell ga = grid.gcell_at(tree.nodes[static_cast<std::size_t>(edge.a)].pos);
+      const GCell gb = grid.gcell_at(tree.nodes[static_cast<std::size_t>(edge.b)].pos);
+      RoutedConnection conn;
+      conn.tree = static_cast<int>(t);
+      conn.edge = static_cast<int>(e);
+      conn.path = pattern_route(grid, ga, gb);
+      result.conn_of_edge[t][e] = static_cast<int>(result.connections.size());
+      result.connections.push_back(std::move(conn));
+    }
+  }
+
+  // Capacity calibration (or pinned capacities for apples-to-apples runs).
+  if (options.fixed_h_cap > 0.0 && options.fixed_v_cap > 0.0) {
+    grid.set_capacities(options.fixed_h_cap, options.fixed_v_cap);
+  } else {
+    std::vector<double> hu;
+    std::vector<double> vu;
+    hu.reserve(grid.num_h_edges());
+    vu.reserve(grid.num_v_edges());
+    for (int y = 0; y < grid.ny(); ++y) {
+      for (int x = 0; x + 1 < grid.nx(); ++x) hu.push_back(grid.h_usage(x, y));
+    }
+    for (int y = 0; y + 1 < grid.ny(); ++y) {
+      for (int x = 0; x < grid.nx(); ++x) vu.push_back(grid.v_usage(x, y));
+    }
+    const double h_cap = std::max(options.min_capacity, options.capacity_factor * p90(hu));
+    const double v_cap = std::max(options.min_capacity, options.capacity_factor * p90(vu));
+    grid.set_capacities(h_cap, v_cap);
+  }
+  result.calibrated_h_cap = grid.h_capacity();
+  result.calibrated_v_cap = grid.v_capacity();
+
+  // Negotiated rip-up and reroute.
+  for (int round = 0; round < options.rrr_iterations; ++round) {
+    if (grid.total_overflow() <= 0.0) break;
+    ++result.rrr_rounds_used;
+    // Add history on overflowed edges.
+    for (int y = 0; y < grid.ny(); ++y) {
+      for (int x = 0; x + 1 < grid.nx(); ++x) {
+        if (grid.h_usage(x, y) > grid.h_capacity()) {
+          grid.add_h_history(x, y, options.history_increment);
+        }
+      }
+    }
+    for (int y = 0; y + 1 < grid.ny(); ++y) {
+      for (int x = 0; x < grid.nx(); ++x) {
+        if (grid.v_usage(x, y) > grid.v_capacity()) {
+          grid.add_v_history(x, y, options.history_increment);
+        }
+      }
+    }
+    // Collect connections through overflowed edges.
+    std::vector<int> victims;
+    for (std::size_t c = 0; c < result.connections.size(); ++c) {
+      const auto& path = result.connections[c].path;
+      bool hit = false;
+      for (std::size_t i = 1; i < path.size() && !hit; ++i) {
+        const GCell& p = path[i - 1];
+        const GCell& q = path[i];
+        if (p.y == q.y) {
+          hit = grid.h_usage(std::min(p.x, q.x), p.y) > grid.h_capacity();
+        } else {
+          hit = grid.v_usage(p.x, std::min(p.y, q.y)) > grid.v_capacity();
+        }
+      }
+      if (hit) victims.push_back(static_cast<int>(c));
+    }
+    if (victims.empty()) break;
+    for (int c : victims) {
+      RoutedConnection& conn = result.connections[static_cast<std::size_t>(c)];
+      rip_up(grid, conn.path);
+      const GCell a = conn.path.front();
+      const GCell b = conn.path.back();
+      conn.path = maze_route(grid, a, b, options.maze_margin);
+    }
+    TS_DEBUG("GR round %d: %zu victims, overflow %.1f", round, victims.size(),
+             grid.total_overflow());
+  }
+
+  // Final accounting.
+  for (const RoutedConnection& conn : result.connections) {
+    const SteinerTree& tree = forest.trees[static_cast<std::size_t>(conn.tree)];
+    const SteinerEdge& e = tree.edges[static_cast<std::size_t>(conn.edge)];
+    result.wirelength_dbu +=
+        conn.length_dbu(grid, tree.nodes[static_cast<std::size_t>(e.a)].pos,
+                        tree.nodes[static_cast<std::size_t>(e.b)].pos);
+  }
+  result.total_overflow = grid.total_overflow();
+  result.overflowed_edges = grid.num_overflowed_edges();
+  return result;
+}
+
+}  // namespace tsteiner

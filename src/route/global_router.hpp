@@ -1,0 +1,63 @@
+// Global router (CUGR substitute).
+//
+// Routes every two-pin edge of the Steiner forest on the gcell grid:
+// congestion-aware L-pattern routing first, then negotiated-congestion
+// rip-up-and-reroute (maze/Dijkstra with history costs) for connections
+// crossing overflowed edges. Capacities are calibrated from the initial
+// demand of the *baseline* forest and can be pinned via RouterOptions so a
+// TSteiner-refined forest is routed against identical resources.
+#pragma once
+
+#include <vector>
+
+#include "route/grid.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+struct RouterOptions {
+  std::int64_t gcell_size = 8;
+  /// Capacity = capacity_factor * p90(initial usage), at least min_capacity.
+  /// Slightly below 1.0 keeps realistic congestion pressure: hotspots must
+  /// negotiate, the DR surrogate sees violations to repair, and Steiner
+  /// positions influence sign-off through detours — the regime the paper
+  /// operates in.
+  double capacity_factor = 0.92;
+  double min_capacity = 4.0;
+  /// Fixed capacities override calibration when > 0.
+  double fixed_h_cap = 0.0;
+  double fixed_v_cap = 0.0;
+  int rrr_iterations = 4;
+  double history_increment = 1.0;
+  int maze_margin = 12;  ///< gcells added around a connection's bbox
+};
+
+/// One routed two-pin connection (tree edge -> gcell path).
+struct RoutedConnection {
+  int tree = -1;
+  int edge = -1;
+  std::vector<GCell> path;  ///< adjacent gcells, size >= 1
+
+  int num_bends() const;
+  /// Routed length in DBU given the grid's gcell size (straight-line within
+  /// a single gcell).
+  double length_dbu(const GridGraph& grid, const PointF& a, const PointF& b) const;
+};
+
+struct GlobalRouteResult {
+  GridGraph grid;
+  std::vector<RoutedConnection> connections;
+  /// conn_of_edge[tree][edge] -> index into `connections`.
+  std::vector<std::vector<int>> conn_of_edge;
+  double wirelength_dbu = 0.0;
+  double total_overflow = 0.0;
+  long long overflowed_edges = 0;
+  int rrr_rounds_used = 0;
+  double calibrated_h_cap = 0.0;
+  double calibrated_v_cap = 0.0;
+};
+
+GlobalRouteResult global_route(const Design& design, const SteinerForest& forest,
+                               const RouterOptions& options = {});
+
+}  // namespace tsteiner

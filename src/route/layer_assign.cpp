@@ -1,0 +1,95 @@
+#include "route/layer_assign.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsteiner {
+
+std::vector<LayerPair> default_layer_stack() {
+  return {
+      {"local", 1.0, 1.0, 1.0},          // M1/M2-like: default RC, unlimited
+      {"intermediate", 0.45, 0.95, 0.35},  // M3/M4-like
+      {"global", 0.15, 0.9, 0.12},         // M5/M6-like: fast and scarce
+  };
+}
+
+LayerAssignment assign_layers(const SteinerForest& forest, const GlobalRouteResult& gr,
+                              LayerPolicy policy, const std::vector<double>* criticality,
+                              std::vector<LayerPair> stack) {
+  LayerAssignment out;
+  out.stack = std::move(stack);
+  out.layer_of_connection.assign(gr.connections.size(), 0);
+  if (gr.connections.empty()) return out;
+
+  // Connection lengths (DBU) for budgets and the wirelength policy.
+  std::vector<double> length(gr.connections.size(), 0.0);
+  double total_len = 0.0;
+  for (std::size_t c = 0; c < gr.connections.size(); ++c) {
+    const RoutedConnection& conn = gr.connections[c];
+    const SteinerTree& tree = forest.trees[static_cast<std::size_t>(conn.tree)];
+    const SteinerEdge& e = tree.edges[static_cast<std::size_t>(conn.edge)];
+    length[c] = conn.length_dbu(gr.grid, tree.nodes[static_cast<std::size_t>(e.a)].pos,
+                                tree.nodes[static_cast<std::size_t>(e.b)].pos);
+    total_len += length[c];
+  }
+
+  // Priority order: by length (wirelength policy) or by criticality.
+  std::vector<std::size_t> order(gr.connections.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (policy == LayerPolicy::kTimingDriven && criticality != nullptr) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ca = (*criticality)[a];
+      const double cb = (*criticality)[b];
+      if (ca != cb) return ca > cb;
+      return length[a] > length[b];  // tie-break: longer first
+    });
+  } else {
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return length[a] > length[b]; });
+  }
+
+  // Fill fast layer pairs (top of the stack first) until their wirelength
+  // budget is exhausted; the bottom pair absorbs the rest.
+  std::vector<double> budget(out.stack.size());
+  for (std::size_t l = 0; l < out.stack.size(); ++l) {
+    budget[l] = out.stack[l].capacity_share * total_len;
+  }
+  for (std::size_t idx : order) {
+    int chosen = 0;
+    for (int l = static_cast<int>(out.stack.size()) - 1; l >= 1; --l) {
+      if (budget[static_cast<std::size_t>(l)] >= length[idx]) {
+        chosen = l;
+        break;
+      }
+    }
+    out.layer_of_connection[idx] = chosen;
+    budget[static_cast<std::size_t>(chosen)] -= length[idx];
+    // Each promotion above the local pair costs two extra vias (up + down).
+    if (chosen > 0) out.num_layer_vias += 2;
+  }
+  return out;
+}
+
+std::vector<double> connection_criticality(const Design& design, const SteinerForest& forest,
+                                           const GlobalRouteResult& gr,
+                                           const std::vector<double>& pin_arrival) {
+  // Net-level criticality: the worst (largest) arrival among the net's
+  // sinks, normalized by the clock period — a cheap proxy for how close the
+  // net sits to the critical cone.
+  std::vector<double> net_score(design.nets().size(), 0.0);
+  for (const Net& n : design.nets()) {
+    double worst = 0.0;
+    for (int s : n.sink_pins) {
+      worst = std::max(worst, pin_arrival[static_cast<std::size_t>(s)]);
+    }
+    net_score[static_cast<std::size_t>(n.id)] = worst / std::max(1e-9, design.clock_period());
+  }
+  std::vector<double> crit(gr.connections.size(), 0.0);
+  for (std::size_t c = 0; c < gr.connections.size(); ++c) {
+    const int net = forest.trees[static_cast<std::size_t>(gr.connections[c].tree)].net;
+    crit[c] = net_score[static_cast<std::size_t>(net)];
+  }
+  return crit;
+}
+
+}  // namespace tsteiner

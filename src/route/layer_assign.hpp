@@ -1,0 +1,71 @@
+// Metal-layer assignment (the paper's related work [6] CATALYST / [7] TILA
+// line): distribute routed connections across a layer stack whose upper,
+// thick layers are much faster (lower RC) but scarce.
+//
+// Two policies are provided:
+//   * kWirelength — classic: longest connections get the fast layers
+//     (maximizes total RC reduction, timing-blind);
+//   * kTimingDriven — connections are prioritized by the criticality of
+//     their net's worst sink slack (from a baseline STA), so critical paths
+//     get the fast metal even when short.
+// The result maps each connection to a layer pair whose R/C multipliers the
+// RC extractor consumes.
+#pragma once
+
+#include <vector>
+
+#include "route/global_router.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+/// One H/V layer pair of the stack.
+struct LayerPair {
+  const char* name = "";
+  double r_mult = 1.0;  ///< resistance multiplier vs the default wire
+  double c_mult = 1.0;  ///< capacitance multiplier
+  /// Fraction of total routed wirelength this pair can carry.
+  double capacity_share = 1.0;
+};
+
+/// Default 3-pair stack: local (thin, slow), intermediate, global (thick,
+/// fast, scarce).
+std::vector<LayerPair> default_layer_stack();
+
+enum class LayerPolicy { kWirelength, kTimingDriven };
+
+struct LayerAssignment {
+  /// Layer-pair index per connection (aligned with gr.connections).
+  std::vector<int> layer_of_connection;
+  std::vector<LayerPair> stack;
+
+  double r_mult(int connection) const {
+    return stack[static_cast<std::size_t>(
+                     layer_of_connection[static_cast<std::size_t>(connection)])]
+        .r_mult;
+  }
+  double c_mult(int connection) const {
+    return stack[static_cast<std::size_t>(
+                     layer_of_connection[static_cast<std::size_t>(connection)])]
+        .c_mult;
+  }
+  /// Extra vias incurred by layer switches along each tree's edges.
+  long long num_layer_vias = 0;
+};
+
+/// `criticality` (optional, required for kTimingDriven): one value per
+/// connection, larger = more critical (e.g. -slack of the net's worst sink).
+LayerAssignment assign_layers(const SteinerForest& forest, const GlobalRouteResult& gr,
+                              LayerPolicy policy,
+                              const std::vector<double>* criticality = nullptr,
+                              std::vector<LayerPair> stack = default_layer_stack());
+
+/// Convenience: per-connection criticality from a sign-off STA result
+/// (worst endpoint-slack-driven: -min slack over the net's sinks' arrival
+/// cone is expensive; this uses the net's sinks' own slacks where the sink
+/// is an endpoint, else the sink arrival as a proxy).
+std::vector<double> connection_criticality(const Design& design, const SteinerForest& forest,
+                                           const GlobalRouteResult& gr,
+                                           const std::vector<double>& pin_arrival);
+
+}  // namespace tsteiner

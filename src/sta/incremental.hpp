@@ -1,0 +1,47 @@
+// Incremental STA: after a position-only change to a subset of nets (the
+// exact edit Steiner refinement makes), re-extract just those nets' RC and
+// re-propagate arrivals only through the affected fan-out cone. Exact — the
+// result always matches a full run_sta on the same inputs — but far cheaper
+// when few nets moved (oracle probes, iterative refinement, what-if loops).
+#pragma once
+
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace tsteiner {
+
+class IncrementalSta {
+ public:
+  explicit IncrementalSta(const Design& design, const StaOptions& options = {});
+
+  /// Full analysis; establishes the internal state.
+  const StaResult& analyze(const SteinerForest& forest, const GlobalRouteResult* gr);
+
+  /// Re-analyze after the Steiner points of `dirty_nets` moved (topology and
+  /// connectivity unchanged). `forest`/`gr` reflect the new positions.
+  const StaResult& update(const SteinerForest& forest, const GlobalRouteResult* gr,
+                          const std::vector<int>& dirty_nets);
+
+  const StaResult& result() const { return result_; }
+  /// Cells re-evaluated by the last update (instrumentation for tests).
+  long long last_update_cell_count() const { return last_cells_; }
+
+ private:
+  void propagate_cell(int cell_id);
+  void propagate_net_sinks(int net_id, std::vector<int>& touched_cells);
+  void refresh_endpoints();
+
+  const Design* design_;
+  StaOptions options_;
+  const SteinerForest* forest_ = nullptr;
+  const GlobalRouteResult* gr_ = nullptr;
+  std::vector<NetTiming> net_timing_;
+  std::vector<int> sink_slot_;   ///< per pin: index within its net's sinks
+  std::vector<int> topo_index_;  ///< per cell: position in topological order
+  std::vector<int> topo_order_;
+  StaResult result_;
+  long long last_cells_ = 0;
+};
+
+}  // namespace tsteiner

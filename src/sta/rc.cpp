@@ -1,0 +1,125 @@
+#include "sta/rc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsteiner {
+
+NetTiming extract_net_timing(const Design& design, const SteinerTree& tree,
+                             const GlobalRouteResult* gr, int tree_index,
+                             const LayerAssignment* layers) {
+  const CellLibrary& lib = design.library();
+  const Net& net = design.net(tree.net);
+  const std::size_t n = tree.nodes.size();
+
+  const std::vector<int> parent = tree.parents_from_driver();
+
+  // Per-edge R and C, keyed by child node (edge = child -> parent).
+  std::vector<double> edge_r(n, 0.0);
+  std::vector<double> edge_c(n, 0.0);
+  // Children lists + topological (BFS) order from the driver.
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> order;
+  order.reserve(n);
+  order.push_back(tree.driver_node);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int u = order[i];
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] == u) {
+        children[static_cast<std::size_t>(u)].push_back(static_cast<int>(v));
+        order.push_back(static_cast<int>(v));
+      }
+    }
+  }
+  if (order.size() != n) throw std::runtime_error("RC extraction on a disconnected tree");
+
+  // Edge geometry: routed length + bends (sign-off) or Manhattan geometry.
+  for (std::size_t e = 0; e < tree.edges.size(); ++e) {
+    const SteinerEdge& edge = tree.edges[e];
+    // Identify the child endpoint of this edge in the rooted tree.
+    int child;
+    if (parent[static_cast<std::size_t>(edge.a)] == edge.b) {
+      child = edge.a;
+    } else if (parent[static_cast<std::size_t>(edge.b)] == edge.a) {
+      child = edge.b;
+    } else {
+      throw std::runtime_error("tree edge inconsistent with parent array");
+    }
+    const PointF& pa = tree.nodes[static_cast<std::size_t>(edge.a)].pos;
+    const PointF& pb = tree.nodes[static_cast<std::size_t>(edge.b)].pos;
+    double len = manhattan(pa, pb);
+    int bends = (pa.x != pb.x && pa.y != pb.y) ? 1 : 0;
+    double r_mult = 1.0;
+    double c_mult = 1.0;
+    if (gr != nullptr) {
+      const int ci = gr->conn_of_edge[static_cast<std::size_t>(tree_index)][e];
+      if (ci >= 0) {
+        const RoutedConnection& conn = gr->connections[static_cast<std::size_t>(ci)];
+        len = conn.length_dbu(gr->grid, pa, pb);
+        bends = conn.num_bends();
+        if (layers != nullptr) {
+          r_mult = layers->r_mult(ci);
+          c_mult = layers->c_mult(ci);
+          if (layers->layer_of_connection[static_cast<std::size_t>(ci)] > 0) {
+            bends += 2;  // up/down vias into the assigned layer pair
+          }
+        }
+      }
+    }
+    edge_r[static_cast<std::size_t>(child)] =
+        lib.wire_res_kohm_per_dbu() * len * r_mult + lib.via_res_kohm() * bends;
+    edge_c[static_cast<std::size_t>(child)] = lib.wire_cap_pf_per_dbu() * len * c_mult;
+  }
+
+  // Node loads: sink pin caps + half of each adjacent edge's wire cap.
+  std::vector<double> node_load(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const SteinerNode& node = tree.nodes[v];
+    if (!node.is_steiner() && node.pin != net.driver_pin) {
+      node_load[v] += design.pin_cap(node.pin);
+    }
+    if (parent[v] >= 0) {
+      node_load[v] += 0.5 * edge_c[v];
+      node_load[static_cast<std::size_t>(parent[v])] += 0.5 * edge_c[v];
+    }
+  }
+
+  // Subtree capacitance (reverse BFS order) and Elmore delays (forward).
+  std::vector<double> subtree(node_load);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    for (int c : children[static_cast<std::size_t>(u)]) {
+      subtree[static_cast<std::size_t>(u)] += subtree[static_cast<std::size_t>(c)];
+    }
+  }
+  std::vector<double> elmore(n, 0.0);
+  for (int u : order) {
+    if (parent[static_cast<std::size_t>(u)] < 0) continue;
+    elmore[static_cast<std::size_t>(u)] =
+        elmore[static_cast<std::size_t>(parent[static_cast<std::size_t>(u)])] +
+        edge_r[static_cast<std::size_t>(u)] * subtree[static_cast<std::size_t>(u)];
+  }
+
+  // Collect per-sink results in Net::sink_pins order.
+  NetTiming t;
+  t.total_cap_pf = subtree[static_cast<std::size_t>(tree.driver_node)];
+  t.sink_delay_ns.resize(net.sink_pins.size(), 0.0);
+  t.sink_ramp_ns.resize(net.sink_pins.size(), 0.0);
+  constexpr double kLn9 = 2.1972245773362196;
+  for (std::size_t s = 0; s < net.sink_pins.size(); ++s) {
+    const int pin_id = net.sink_pins[s];
+    int node_idx = -1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (tree.nodes[v].pin == pin_id) {
+        node_idx = static_cast<int>(v);
+        break;
+      }
+    }
+    if (node_idx < 0) throw std::runtime_error("sink pin missing from tree");
+    t.sink_delay_ns[s] = elmore[static_cast<std::size_t>(node_idx)];
+    t.sink_ramp_ns[s] = kLn9 * elmore[static_cast<std::size_t>(node_idx)];
+  }
+  return t;
+}
+
+}  // namespace tsteiner

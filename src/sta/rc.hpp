@@ -1,0 +1,38 @@
+// RC extraction and Elmore delay over Steiner-tree topologies.
+//
+// Each net's routed (or, pre-routing, geometric) Steiner tree becomes an RC
+// tree: per-edge resistance/capacitance from length, via resistance from GR
+// bends, sink pin capacitances at the leaves. Elmore delays from the driver
+// to every sink plus a PERI-style slew ramp feed the STA engine.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "route/global_router.hpp"
+#include "route/layer_assign.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+struct NetTiming {
+  /// Total load seen by the driver: all wire capacitance + sink pin caps.
+  double total_cap_pf = 0.0;
+  /// Elmore delay (ns) driver -> sink, aligned with Net::sink_pins.
+  std::vector<double> sink_delay_ns;
+  /// Slew-degradation ramp (ns) per sink: ln(9) * elmore, combined with the
+  /// driver slew in quadrature by the STA engine.
+  std::vector<double> sink_ramp_ns;
+};
+
+/// Extract timing for the net of `tree`. When `gr` is non-null, edge
+/// lengths/bends come from the routed paths of `gr` (sign-off mode);
+/// otherwise edge geometry is used directly (pre-routing estimate).
+/// `tree_index` is the tree's index inside the forest that `gr` routed.
+/// An optional layer assignment scales each edge's R/C by its connection's
+/// layer-pair multipliers.
+NetTiming extract_net_timing(const Design& design, const SteinerTree& tree,
+                             const GlobalRouteResult* gr, int tree_index,
+                             const LayerAssignment* layers = nullptr);
+
+}  // namespace tsteiner

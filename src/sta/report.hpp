@@ -1,0 +1,38 @@
+// Critical-path reporting on top of the STA engine: backtracks the worst
+// endpoints through their max-arrival predecessors and renders per-arc
+// breakdowns (the report commercial sign-off hands back after
+// `report_timing`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace tsteiner {
+
+struct PathStep {
+  int pin = -1;
+  double arrival_ns = 0.0;
+  double incr_ns = 0.0;     ///< delay added by the arc into this pin
+  bool through_net = false; ///< true: net arc, false: cell arc
+};
+
+struct TimingPath {
+  int endpoint = -1;
+  double slack_ns = 0.0;
+  std::vector<PathStep> steps;  ///< startpoint first
+};
+
+/// Extract the `k` worst endpoint paths (most negative slack first). Each
+/// path follows, at every cell, the input pin whose (arrival + arc delay)
+/// produced the output arrival — i.e. the timing-critical traversal.
+std::vector<TimingPath> extract_critical_paths(const Design& design,
+                                               const SteinerForest& forest,
+                                               const GlobalRouteResult* gr,
+                                               const StaResult& sta, int k);
+
+/// Human-readable rendering of one path.
+std::string format_path(const Design& design, const TimingPath& path);
+
+}  // namespace tsteiner

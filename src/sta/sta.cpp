@@ -1,0 +1,139 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tsteiner {
+
+double StaResult::slack_of(int pin_id) const {
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (endpoints[i] == pin_id) return endpoint_slack[i];
+  }
+  throw std::runtime_error("pin is not a timing endpoint");
+}
+
+StaResult run_sta(const Design& design, const SteinerForest& forest,
+                  const GlobalRouteResult* gr, const StaOptions& options,
+                  const LayerAssignment* layers) {
+  const std::size_t num_pins = design.pins().size();
+  StaResult res;
+  res.arrival.assign(num_pins, 0.0);
+  res.slew.assign(num_pins, options.primary_input_slew);
+
+  // --- net timing for every net with a tree --------------------------------
+  std::vector<NetTiming> net_timing(design.nets().size());
+  for (const Net& n : design.nets()) {
+    const int t = forest.net_to_tree[static_cast<std::size_t>(n.id)];
+    if (t < 0) continue;
+    net_timing[static_cast<std::size_t>(n.id)] =
+        extract_net_timing(design, forest.trees[static_cast<std::size_t>(t)], gr, t, layers);
+  }
+  // Where is each sink pin inside its net's sink list?
+  std::vector<int> sink_slot(num_pins, -1);
+  for (const Net& n : design.nets()) {
+    for (std::size_t s = 0; s < n.sink_pins.size(); ++s) {
+      sink_slot[static_cast<std::size_t>(n.sink_pins[s])] = static_cast<int>(s);
+    }
+  }
+
+  auto net_load = [&](int out_pin) {
+    const int net_id = design.pin(out_pin).net;
+    if (net_id < 0) return 0.0;
+    return net_timing[static_cast<std::size_t>(net_id)].total_cap_pf;
+  };
+
+  // Arrival/slew at a sink pin given its driver pin's arrival/slew.
+  auto propagate_net_to_sink = [&](int sink_pin) {
+    const Pin& sp = design.pin(sink_pin);
+    const NetTiming& nt = net_timing[static_cast<std::size_t>(sp.net)];
+    const int driver = design.net(sp.net).driver_pin;
+    const int slot = sink_slot[static_cast<std::size_t>(sink_pin)];
+    const double d = nt.sink_delay_ns[static_cast<std::size_t>(slot)];
+    const double ramp = nt.sink_ramp_ns[static_cast<std::size_t>(slot)];
+    res.arrival[static_cast<std::size_t>(sink_pin)] =
+        res.arrival[static_cast<std::size_t>(driver)] + d;
+    const double ds = res.slew[static_cast<std::size_t>(driver)];
+    res.slew[static_cast<std::size_t>(sink_pin)] = std::sqrt(ds * ds + ramp * ramp);
+  };
+
+  // --- startpoints ----------------------------------------------------------
+  for (const Pin& p : design.pins()) {
+    if (p.kind == PinKind::kPrimaryInput) {
+      res.arrival[static_cast<std::size_t>(p.id)] = 0.0;
+      res.slew[static_cast<std::size_t>(p.id)] = options.primary_input_slew;
+    }
+  }
+  for (const Cell& c : design.cells()) {
+    if (!design.is_register_cell(c.id)) continue;
+    const CellType& t = design.cell_type(c.id);
+    const TimingArc& ck2q = t.arcs[0];
+    const double load = net_load(c.output_pin);
+    res.arrival[static_cast<std::size_t>(c.output_pin)] =
+        ck2q.delay.lookup(options.clock_source_slew, load);
+    res.slew[static_cast<std::size_t>(c.output_pin)] =
+        ck2q.out_slew.lookup(options.clock_source_slew, load);
+  }
+
+  // --- combinational propagation in topological order -----------------------
+  for (int cid : design.combinational_topo_order()) {
+    const Cell& c = design.cell(cid);
+    const CellType& t = design.cell_type(cid);
+    const double load = net_load(c.output_pin);
+    double out_arrival = 0.0;
+    double out_slew = options.primary_input_slew;
+    bool any = false;
+    for (int in_pin : c.input_pins) {
+      if (design.pin(in_pin).net < 0) continue;
+      propagate_net_to_sink(in_pin);
+      const int slot = design.pin(in_pin).input_slot;
+      const TimingArc& arc = t.arcs[static_cast<std::size_t>(slot)];
+      const double in_slew = res.slew[static_cast<std::size_t>(in_pin)];
+      const double a =
+          res.arrival[static_cast<std::size_t>(in_pin)] + arc.delay.lookup(in_slew, load);
+      if (!any || a > out_arrival) {
+        out_arrival = a;
+        out_slew = arc.out_slew.lookup(in_slew, load);
+        any = true;
+      }
+    }
+    res.arrival[static_cast<std::size_t>(c.output_pin)] = out_arrival;
+    res.slew[static_cast<std::size_t>(c.output_pin)] = out_slew;
+  }
+
+  // --- endpoints -------------------------------------------------------------
+  res.endpoints = design.endpoint_pins();
+  res.endpoint_slack.reserve(res.endpoints.size());
+  res.wns = res.endpoints.empty() ? 0.0 : std::numeric_limits<double>::infinity();
+  for (int ep : res.endpoints) {
+    if (design.pin(ep).net >= 0) propagate_net_to_sink(ep);
+    const double arrival = res.arrival[static_cast<std::size_t>(ep)];
+    double required = design.clock_period();
+    if (design.pin(ep).kind == PinKind::kCellInput) {
+      required -= design.cell_type(design.pin(ep).cell).setup_ns;
+    }
+    const double slack = required - arrival;
+    res.endpoint_slack.push_back(slack);
+    res.wns = std::min(res.wns, slack);
+    res.tns += std::min(0.0, slack);
+    if (slack < 0.0) ++res.num_violations;
+    res.max_arrival = std::max(res.max_arrival, arrival);
+  }
+  for (double a : res.arrival) res.max_arrival = std::max(res.max_arrival, a);
+
+  // --- electrical rule checks -------------------------------------------------
+  for (const Net& n : design.nets()) {
+    const double load = net_timing[static_cast<std::size_t>(n.id)].total_cap_pf;
+    res.worst_cap_pf = std::max(res.worst_cap_pf, load);
+    if (load > options.max_cap_pf) ++res.num_cap_violations;
+    for (int s : n.sink_pins) {
+      const double slew = res.slew[static_cast<std::size_t>(s)];
+      res.worst_slew_ns = std::max(res.worst_slew_ns, slew);
+      if (slew > options.max_slew_ns) ++res.num_slew_violations;
+    }
+  }
+  return res;
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,80 @@
+#include "steiner/forest_io.hpp"
+
+#include <fstream>
+
+namespace tsteiner {
+
+void write_forest(const SteinerForest& forest, std::ostream& out) {
+  out << "tsteiner-forest-v1\n";
+  out.precision(17);
+  out << "nets " << forest.net_to_tree.size() << '\n';
+  out << "trees " << forest.trees.size() << '\n';
+  for (const SteinerTree& t : forest.trees) {
+    out << "tree " << t.net << ' ' << t.driver_node << ' ' << t.nodes.size() << ' '
+        << t.edges.size() << '\n';
+    for (const SteinerNode& n : t.nodes) {
+      out << n.pin << ' ' << n.pos.x << ' ' << n.pos.y << '\n';
+    }
+    for (const SteinerEdge& e : t.edges) {
+      out << e.a << ' ' << e.b << '\n';
+    }
+  }
+}
+
+bool write_forest_file(const SteinerForest& forest, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_forest(forest, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<SteinerForest> read_forest(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "tsteiner-forest-v1") return std::nullopt;
+  std::string key;
+  std::size_t num_nets = 0, num_trees = 0;
+  if (!(in >> key >> num_nets) || key != "nets") return std::nullopt;
+  if (!(in >> key >> num_trees) || key != "trees") return std::nullopt;
+
+  SteinerForest f;
+  f.net_to_tree.assign(num_nets, -1);
+  f.trees.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    int net = -1, driver = -1;
+    std::size_t nodes = 0, edges = 0;
+    if (!(in >> key >> net >> driver >> nodes >> edges) || key != "tree") return std::nullopt;
+    if (net < 0 || net >= static_cast<int>(num_nets)) return std::nullopt;
+    SteinerTree tree;
+    tree.net = net;
+    tree.driver_node = driver;
+    tree.nodes.reserve(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      SteinerNode node;
+      if (!(in >> node.pin >> node.pos.x >> node.pos.y)) return std::nullopt;
+      tree.nodes.push_back(node);
+    }
+    tree.edges.reserve(edges);
+    for (std::size_t e = 0; e < edges; ++e) {
+      SteinerEdge edge;
+      if (!(in >> edge.a >> edge.b)) return std::nullopt;
+      if (edge.a < 0 || edge.b < 0 || edge.a >= static_cast<int>(nodes) ||
+          edge.b >= static_cast<int>(nodes)) {
+        return std::nullopt;
+      }
+      tree.edges.push_back(edge);
+    }
+    if (!tree.is_valid_tree()) return std::nullopt;
+    f.net_to_tree[static_cast<std::size_t>(net)] = static_cast<int>(f.trees.size());
+    f.trees.push_back(std::move(tree));
+  }
+  f.build_movable_index();
+  return f;
+}
+
+std::optional<SteinerForest> read_forest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_forest(in);
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,100 @@
+#include "steiner/prim_dijkstra.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace tsteiner {
+
+SteinerTree build_pd_tree(const Design& design, int net_id, const PdOptions& options) {
+  const Net& net = design.net(net_id);
+  if (net.sink_pins.empty()) throw std::runtime_error("cannot build tree for sinkless net");
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    throw std::runtime_error("PD alpha must be in [0, 1]");
+  }
+
+  SteinerTree tree;
+  tree.net = net_id;
+  tree.nodes.push_back({to_f(design.pin_position(net.driver_pin)), net.driver_pin});
+  for (int s : net.sink_pins) {
+    tree.nodes.push_back({to_f(design.pin_position(s)), s});
+  }
+  tree.driver_node = 0;
+
+  const std::size_t k = tree.nodes.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<char> in_tree(k, 0);
+  std::vector<double> plen(k, 0.0);   // driver -> node path length (attached nodes)
+  std::vector<double> best(k, kInf);  // attachment cost
+  std::vector<int> from(k, -1);
+  in_tree[0] = 1;
+  for (std::size_t v = 1; v < k; ++v) {
+    best[v] = manhattan(tree.nodes[0].pos, tree.nodes[v].pos);
+    from[v] = 0;
+  }
+  for (std::size_t it = 1; it < k; ++it) {
+    std::size_t v_min = k;
+    double c_min = kInf;
+    for (std::size_t v = 1; v < k; ++v) {
+      if (!in_tree[v] && best[v] < c_min) {
+        c_min = best[v];
+        v_min = v;
+      }
+    }
+    if (v_min == k) throw std::runtime_error("PD tree construction failed");
+    in_tree[v_min] = 1;
+    const int u = from[v_min];
+    tree.edges.push_back({u, static_cast<int>(v_min)});
+    plen[v_min] = plen[static_cast<std::size_t>(u)] +
+                  manhattan(tree.nodes[static_cast<std::size_t>(u)].pos, tree.nodes[v_min].pos);
+    // Relax remaining sinks through the newly attached node.
+    for (std::size_t v = 1; v < k; ++v) {
+      if (in_tree[v]) continue;
+      const double c = options.alpha * plen[v_min] +
+                       manhattan(tree.nodes[v_min].pos, tree.nodes[v].pos);
+      if (c < best[v]) {
+        best[v] = c;
+        from[v] = static_cast<int>(v_min);
+      }
+    }
+  }
+
+  if (options.steinerize_corners) steinerize_corners(tree);
+  return tree;
+}
+
+int steinerize_corners(SteinerTree& tree) {
+  int added = 0;
+  std::vector<SteinerEdge> new_edges;
+  new_edges.reserve(tree.edges.size() * 2);
+  for (const SteinerEdge& e : tree.edges) {
+    const PointF& a = tree.nodes[static_cast<std::size_t>(e.a)].pos;
+    const PointF& b = tree.nodes[static_cast<std::size_t>(e.b)].pos;
+    if (a.x == b.x || a.y == b.y) {
+      new_edges.push_back(e);
+      continue;
+    }
+    // Horizontal-first from a: corner at (b.x, a.y).
+    const int corner = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back({{b.x, a.y}, -1});
+    new_edges.push_back({e.a, corner});
+    new_edges.push_back({corner, e.b});
+    ++added;
+  }
+  tree.edges = std::move(new_edges);
+  return added;
+}
+
+SteinerForest build_pd_forest(const Design& design, const PdOptions& options) {
+  SteinerForest forest;
+  forest.net_to_tree.assign(design.nets().size(), -1);
+  for (const Net& n : design.nets()) {
+    if (n.sink_pins.empty()) continue;
+    forest.net_to_tree[static_cast<std::size_t>(n.id)] =
+        static_cast<int>(forest.trees.size());
+    forest.trees.push_back(build_pd_tree(design, n.id, options));
+  }
+  forest.build_movable_index();
+  return forest;
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,38 @@
+// Prim-Dijkstra tradeoff trees (Alpert et al. — the paper's refs [3], [4]).
+//
+// The classical timing-driven alternative to WL-minimal Steiner trees: grow
+// a spanning tree from the driver where attaching sink v to tree node u
+// costs  alpha * pathlength(driver -> u) + dist(u, v).
+//   alpha = 0   -> Prim / MST (minimum wirelength, arbitrary path lengths)
+//   alpha = 1   -> Dijkstra / shortest-path tree (minimum source-sink paths,
+//                  maximum wirelength)
+// Intermediate alpha trades a little wirelength for much shorter critical
+// paths ("timing-driven Steiner trees are practically free").
+//
+// Each bent tree edge is then steinerized with an explicit L-corner Steiner
+// node, giving TSteiner a movable point per bend — PD trees therefore expose
+// strictly more refinement freedom than junction-only RSMTs.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+struct PdOptions {
+  /// Pathlength-vs-wirelength tradeoff in [0, 1].
+  double alpha = 0.3;
+  /// Insert an L-corner Steiner node on every bent edge.
+  bool steinerize_corners = true;
+};
+
+SteinerTree build_pd_tree(const Design& design, int net_id, const PdOptions& options = {});
+
+SteinerForest build_pd_forest(const Design& design, const PdOptions& options = {});
+
+/// Insert an L-corner Steiner node (degree 2, movable) on every edge of
+/// `tree` whose endpoints differ in both coordinates. Corners are placed on
+/// the driver-side horizontal-first bend. Returns the number added.
+int steinerize_corners(SteinerTree& tree);
+
+}  // namespace tsteiner

@@ -1,0 +1,211 @@
+#include "steiner/rsmt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace tsteiner {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Prim MST over points; returns (length, edges). O(k^2), fine for net-sized
+/// point sets.
+std::pair<double, std::vector<SteinerEdge>> prim(const std::vector<PointF>& pts) {
+  const std::size_t k = pts.size();
+  std::vector<SteinerEdge> edges;
+  if (k <= 1) return {0.0, edges};
+  std::vector<double> best(k, kInf);
+  std::vector<int> from(k, -1);
+  std::vector<char> used(k, 0);
+  best[0] = 0.0;
+  double total = 0.0;
+  for (std::size_t it = 0; it < k; ++it) {
+    std::size_t u = k;
+    double bu = kInf;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!used[i] && best[i] < bu) {
+        bu = best[i];
+        u = i;
+      }
+    }
+    used[u] = 1;
+    total += bu;
+    if (from[u] >= 0) edges.push_back({from[u], static_cast<int>(u)});
+    for (std::size_t v = 0; v < k; ++v) {
+      if (used[v]) continue;
+      const double w = manhattan(pts[u], pts[v]);
+      if (w < best[v]) {
+        best[v] = w;
+        from[v] = static_cast<int>(u);
+      }
+    }
+  }
+  return {total, edges};
+}
+
+/// MST length if `cand` were appended to pts. O(k^2).
+double prim_length_with(const std::vector<PointF>& pts, const PointF& cand) {
+  std::vector<PointF> aug = pts;
+  aug.push_back(cand);
+  return prim(aug).first;
+}
+
+}  // namespace
+
+double mst_length(const std::vector<PointF>& points) { return prim(points).first; }
+
+SteinerTree build_rsmt(const Design& design, int net_id, const RsmtOptions& options) {
+  const Net& net = design.net(net_id);
+  if (net.sink_pins.empty()) throw std::runtime_error("cannot build tree for sinkless net");
+
+  SteinerTree tree;
+  tree.net = net_id;
+
+  // Pin nodes: driver first, then sinks (duplicates by position are fine;
+  // they contribute zero-length MST edges).
+  std::vector<PointF> pts;
+  pts.push_back(to_f(design.pin_position(net.driver_pin)));
+  tree.nodes.push_back({pts.back(), net.driver_pin});
+  for (int s : net.sink_pins) {
+    pts.push_back(to_f(design.pin_position(s)));
+    tree.nodes.push_back({pts.back(), s});
+  }
+  tree.driver_node = 0;
+  const std::size_t num_pins = pts.size();
+
+  // Iterated 1-Steiner.
+  int added = 0;
+  while (added < options.max_steiner_per_net) {
+    const auto [cur_len, cur_edges] = prim(pts);
+    // Candidate Hanan points.
+    std::vector<PointF> cands;
+    if (static_cast<int>(num_pins) <= options.exact_pin_limit &&
+        pts.size() <= 2 * num_pins) {
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        for (std::size_t j = 0; j < pts.size(); ++j) {
+          if (i == j) continue;
+          if (pts[i].x == pts[j].x || pts[i].y == pts[j].y) continue;
+          cands.push_back({pts[i].x, pts[j].y});
+        }
+      }
+    } else {
+      for (const SteinerEdge& e : cur_edges) {
+        const PointF& a = pts[static_cast<std::size_t>(e.a)];
+        const PointF& b = pts[static_cast<std::size_t>(e.b)];
+        if (a.x == b.x || a.y == b.y) continue;
+        cands.push_back({a.x, b.y});
+        cands.push_back({b.x, a.y});
+      }
+    }
+    double best_gain = 1e-9;
+    PointF best_cand;
+    bool found = false;
+    for (const PointF& c : cands) {
+      const double gain = cur_len - prim_length_with(pts, c);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_cand = c;
+        found = true;
+      }
+    }
+    if (!found) break;
+    pts.push_back(best_cand);
+    tree.nodes.push_back({best_cand, -1});
+    ++added;
+  }
+
+  tree.edges = prim(pts).second;
+
+  // Prune Steiner nodes that ended with degree <= 2: degree-2 nodes are
+  // spliced (neighbors connected directly), lower degrees removed. Iterate
+  // to a fixed point, then compact node indices.
+  bool changed = true;
+  std::vector<char> removed(tree.nodes.size(), 0);
+  while (changed) {
+    changed = false;
+    std::vector<int> degree(tree.nodes.size(), 0);
+    for (const SteinerEdge& e : tree.edges) {
+      ++degree[static_cast<std::size_t>(e.a)];
+      ++degree[static_cast<std::size_t>(e.b)];
+    }
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      if (removed[i] || !tree.nodes[i].is_steiner()) continue;
+      if (degree[i] >= 3) continue;
+      changed = true;
+      removed[i] = 1;
+      std::vector<int> nbrs;
+      std::vector<SteinerEdge> kept;
+      kept.reserve(tree.edges.size());
+      for (const SteinerEdge& e : tree.edges) {
+        if (e.a == static_cast<int>(i)) {
+          nbrs.push_back(e.b);
+        } else if (e.b == static_cast<int>(i)) {
+          nbrs.push_back(e.a);
+        } else {
+          kept.push_back(e);
+        }
+      }
+      if (nbrs.size() == 2) kept.push_back({nbrs[0], nbrs[1]});
+      tree.edges = std::move(kept);
+    }
+  }
+  // Compact.
+  std::vector<int> remap(tree.nodes.size(), -1);
+  std::vector<SteinerNode> compact;
+  compact.reserve(tree.nodes.size());
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (removed[i]) continue;
+    remap[i] = static_cast<int>(compact.size());
+    compact.push_back(tree.nodes[i]);
+  }
+  for (SteinerEdge& e : tree.edges) {
+    e.a = remap[static_cast<std::size_t>(e.a)];
+    e.b = remap[static_cast<std::size_t>(e.b)];
+  }
+  tree.nodes = std::move(compact);
+  tree.driver_node = remap[0];
+  return tree;
+}
+
+SteinerForest build_forest(const Design& design, const RsmtOptions& options) {
+  SteinerForest forest;
+  forest.net_to_tree.assign(design.nets().size(), -1);
+  std::vector<int> routable;
+  for (const Net& n : design.nets()) {
+    if (n.sink_pins.empty()) continue;
+    forest.net_to_tree[static_cast<std::size_t>(n.id)] = static_cast<int>(routable.size());
+    routable.push_back(n.id);
+  }
+  forest.trees.resize(routable.size());
+
+  int threads = options.threads;
+  if (threads == 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads, static_cast<int>(routable.size())));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < routable.size(); ++i) {
+      forest.trees[i] = build_rsmt(design, routable[i], options);
+    }
+  } else {
+    // Nets are independent; a striped partition keeps large nets spread out.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t i = static_cast<std::size_t>(w); i < routable.size();
+             i += static_cast<std::size_t>(threads)) {
+          forest.trees[i] = build_rsmt(design, routable[i], options);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  forest.build_movable_index();
+  return forest;
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,42 @@
+// Rectilinear Steiner minimal tree construction.
+//
+// The paper seeds TSteiner with FLUTE [16] trees; FLUTE's lookup tables are
+// not available offline, so this reproduction uses the classic iterated
+// 1-Steiner heuristic (Kahng–Robins): repeatedly add the Hanan-grid point
+// that most reduces the Manhattan MST length. For small nets the candidate
+// set is the full Hanan grid (near-optimal); for large nets candidates are
+// restricted to Hanan points of MST-adjacent node pairs (Borah-style), which
+// keeps construction near-linear in practice. Both provide the same
+// interface FLUTE would: a wirelength-minimal tree whose junctions become
+// movable Steiner points.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner {
+
+struct RsmtOptions {
+  /// Use the full Hanan candidate grid for nets with at most this many pins.
+  int exact_pin_limit = 10;
+  /// Upper bound on Steiner points added per net.
+  int max_steiner_per_net = 64;
+  /// Worker threads for forest construction (nets are independent); 0 picks
+  /// the hardware concurrency, 1 disables threading. Results are identical
+  /// regardless of thread count.
+  int threads = 1;
+};
+
+/// Build a Steiner tree for one net (requires >= 1 sink). The resulting
+/// tree has pin nodes for the driver and every sink, and Steiner nodes for
+/// all junctions; every Steiner node has degree >= 3.
+SteinerTree build_rsmt(const Design& design, int net_id, const RsmtOptions& options = {});
+
+/// Build trees for every net with at least one sink.
+SteinerForest build_forest(const Design& design, const RsmtOptions& options = {});
+
+/// Manhattan MST length over a point set (Prim); exposed for testing and
+/// for wirelength comparisons in the benches.
+double mst_length(const std::vector<PointF>& points);
+
+}  // namespace tsteiner

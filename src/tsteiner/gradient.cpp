@@ -1,0 +1,48 @@
+#include "tsteiner/gradient.hpp"
+
+namespace tsteiner {
+
+namespace {
+
+GradientResult run(const TimingGnn& model, const GraphCache& cache, const Design& design,
+                   const std::vector<double>& xs, const std::vector<double>& ys,
+                   const PenaltyWeights& weights, bool with_backward) {
+  Tape tape;
+  const TimingGnn::Bound bound = model.bind(tape);
+  const Value vx = tape.leaf(Tensor::column(xs), /*requires_grad=*/true);
+  const Value vy = tape.leaf(Tensor::column(ys), /*requires_grad=*/true);
+  const Value arrival = model.forward(tape, cache, bound, vx, vy);
+  const PenaltyTerms terms = build_timing_penalty(tape, cache, design, arrival, weights);
+
+  GradientResult r;
+  r.penalty = tape.value(terms.penalty)[0];
+  r.eval_wns_ns = terms.hard_wns_ns;
+  r.eval_tns_ns = terms.hard_tns_ns;
+  if (with_backward) {
+    tape.backward(terms.penalty);
+    const Tensor& gx = tape.grad(vx);
+    const Tensor& gy = tape.grad(vy);
+    r.grad_x.assign(xs.size(), 0.0);
+    r.grad_y.assign(ys.size(), 0.0);
+    for (std::size_t i = 0; i < gx.size(); ++i) r.grad_x[i] = gx[i];
+    for (std::size_t i = 0; i < gy.size(); ++i) r.grad_y[i] = gy[i];
+  }
+  return r;
+}
+
+}  // namespace
+
+GradientResult compute_timing_gradients(const TimingGnn& model, const GraphCache& cache,
+                                        const Design& design, const std::vector<double>& xs,
+                                        const std::vector<double>& ys,
+                                        const PenaltyWeights& weights) {
+  return run(model, cache, design, xs, ys, weights, /*with_backward=*/true);
+}
+
+GradientResult evaluate_timing(const TimingGnn& model, const GraphCache& cache,
+                               const Design& design, const std::vector<double>& xs,
+                               const std::vector<double>& ys, const PenaltyWeights& weights) {
+  return run(model, cache, design, xs, ys, weights, /*with_backward=*/false);
+}
+
+}  // namespace tsteiner

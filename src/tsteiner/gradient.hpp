@@ -1,0 +1,35 @@
+// Sign-off timing optimization gradient generation (Section III-A).
+//
+// One forward + backward pass of the learned evaluator: Steiner coordinates
+// enter as gradient-required tape leaves, every other feature is constant
+// (the paper: "we only set the feature of Steiner nodes' positions as
+// 'gradient required'"), and backward() through the smoothed penalty yields
+// (dP/dX_s, dP/dY_s) per Steiner point.
+#pragma once
+
+#include <vector>
+
+#include "gnn/model.hpp"
+#include "tsteiner/penalty.hpp"
+
+namespace tsteiner {
+
+struct GradientResult {
+  std::vector<double> grad_x, grad_y;  ///< dP/dX_s, dP/dY_s (per movable point)
+  double penalty = 0.0;
+  double eval_wns_ns = 0.0;  ///< model-evaluated (hard) WNS
+  double eval_tns_ns = 0.0;
+};
+
+/// Evaluate penalty and Steiner-position gradients at (xs, ys).
+GradientResult compute_timing_gradients(const TimingGnn& model, const GraphCache& cache,
+                                        const Design& design, const std::vector<double>& xs,
+                                        const std::vector<double>& ys,
+                                        const PenaltyWeights& weights);
+
+/// Forward-only variant (no backward pass): model-evaluated WNS/TNS.
+GradientResult evaluate_timing(const TimingGnn& model, const GraphCache& cache,
+                               const Design& design, const std::vector<double>& xs,
+                               const std::vector<double>& ys, const PenaltyWeights& weights);
+
+}  // namespace tsteiner

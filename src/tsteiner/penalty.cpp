@@ -1,0 +1,50 @@
+#include "tsteiner/penalty.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsteiner {
+
+PenaltyTerms build_timing_penalty(Tape& tape, const GraphCache& cache, const Design& design,
+                                  Value arrival, const PenaltyWeights& weights) {
+  const std::vector<int> endpoints = design.endpoint_pins();
+  if (endpoints.empty()) throw std::runtime_error("design has no timing endpoints");
+
+  std::vector<double> required(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const Pin& p = design.pin(endpoints[i]);
+    double req = design.clock_period();
+    if (p.kind == PinKind::kCellInput) req -= design.cell_type(p.cell).setup_ns;
+    required[i] = req / cache.clock;  // normalized
+  }
+
+  // slack_e = required_e - arrival_e   (normalized units)
+  const Value ep_arrival = tape.gather_rows(arrival, endpoints);
+  const Value slack = tape.sub(tape.leaf(Tensor::column(required)), ep_arrival);
+
+  const double gamma = weights.gamma_relative > 0.0
+                           ? weights.gamma_relative
+                           : std::max(1e-6, weights.gamma_ns / cache.clock);
+
+  PenaltyTerms t;
+  // Smooth WNS: min(s) = -max(-s) -> -LSE(-s).
+  t.smooth_wns = tape.neg(tape.log_sum_exp(tape.neg(slack), gamma));
+  // Smooth TNS: sum of smooth min(0, s_e).
+  t.smooth_tns = tape.sum_all(tape.soft_min0(slack, gamma));
+  t.penalty = tape.add(tape.scale(t.smooth_wns, weights.lambda_w),
+                       tape.scale(t.smooth_tns, weights.lambda_t));
+
+  // Hard metrics from the same arrivals (for Algorithm 1's keep-best test).
+  const Tensor& s = tape.value(slack);
+  double wns = s[0];
+  double tns = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    wns = std::min(wns, s[i]);
+    tns += std::min(0.0, s[i]);
+  }
+  t.hard_wns_ns = wns * cache.clock;
+  t.hard_tns_ns = tns * cache.clock;
+  return t;
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,21 @@
+#include "tsteiner/random_move.hpp"
+
+namespace tsteiner {
+
+SteinerForest random_disturb(const SteinerForest& forest, const RectI& boundary,
+                             double max_dist, Rng& rng) {
+  SteinerForest out = forest;
+  for (SteinerTree& tree : out.trees) {
+    for (SteinerNode& node : tree.nodes) {
+      if (!node.is_steiner()) continue;
+      node.pos.x += rng.uniform(-max_dist, max_dist);
+      node.pos.y += rng.uniform(-max_dist, max_dist);
+      node.pos = clamp_into(node.pos, boundary);
+      node.pos = to_f(round_to_i(node.pos));
+    }
+  }
+  out.build_movable_index();
+  return out;
+}
+
+}  // namespace tsteiner

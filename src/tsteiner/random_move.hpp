@@ -1,0 +1,14 @@
+// Random Steiner-point disturbance baseline (Fig. 2 / Fig. 5's
+// 'ExpV-Random'): every Steiner point moves uniformly within +-max_dist on
+// each axis, clamped into the die, positions rounded like the refined flow.
+#pragma once
+
+#include "steiner/steiner_tree.hpp"
+#include "util/rng.hpp"
+
+namespace tsteiner {
+
+SteinerForest random_disturb(const SteinerForest& forest, const RectI& boundary,
+                             double max_dist, Rng& rng);
+
+}  // namespace tsteiner

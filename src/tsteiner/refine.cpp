@@ -1,0 +1,167 @@
+#include "tsteiner/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsteiner/gradient.hpp"
+#include "util/log.hpp"
+
+namespace tsteiner {
+
+double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Design& design,
+                      const std::vector<double>& xs, const std::vector<double>& ys,
+                      const PenaltyWeights& weights, double alpha) {
+  const GradientResult g0 = compute_timing_gradients(model, cache, design, xs, ys, weights);
+  std::vector<double> xs2(xs.size()), ys2(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs2[i] = xs[i] + alpha * g0.grad_x[i];
+    ys2[i] = ys[i] + alpha * g0.grad_y[i];
+  }
+  const GradientResult g1 = compute_timing_gradients(model, cache, design, xs2, ys2, weights);
+  double dx2 = 0.0, dg2 = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double ddx = xs[i] - xs2[i];
+    const double ddy = ys[i] - ys2[i];
+    dx2 += ddx * ddx + ddy * ddy;
+    const double dgx = g0.grad_x[i] - g1.grad_x[i];
+    const double dgy = g0.grad_y[i] - g1.grad_y[i];
+    dg2 += dgx * dgx + dgy * dgy;
+  }
+  if (dg2 <= 1e-24 || dx2 <= 1e-24) return 0.25;  // flat landscape: small safe step
+  return std::sqrt(dx2) / std::sqrt(dg2);
+}
+
+RefineResult refine_steiner_points(const Design& design, const SteinerForest& initial,
+                                   const TimingGnn& model, const RefineOptions& options) {
+  RefineResult result;
+  result.forest = initial;
+  result.forest.build_movable_index();
+  if (result.forest.num_movable() == 0) return result;  // nothing to refine
+
+  const auto cache = build_graph_cache(design, result.forest);
+  std::vector<double> xs = result.forest.gather_x();
+  std::vector<double> ys = result.forest.gather_y();
+
+  PenaltyWeights weights = options.weights;
+  const GradientResult init = compute_timing_gradients(model, *cache, design, xs, ys, weights);
+  result.init_wns = init.eval_wns_ns;
+  result.init_tns = init.eval_tns_ns;
+  double best_wns = init.eval_wns_ns;
+  double best_tns = init.eval_tns_ns;
+  std::vector<double> best_xs = xs;
+  std::vector<double> best_ys = ys;
+
+  // Adaptive stepsize (Eq. 8-9), capped so one SO step cannot exceed the
+  // per-iteration move bound (the memoryless update moves each coordinate by
+  // ~theta * (1-beta1)/sqrt(1-beta2) regardless of gradient magnitude).
+  const double max_total_move =
+      options.max_move_gcells * static_cast<double>(options.gcell_size);
+  const double max_step =
+      options.max_step_gcells * static_cast<double>(options.gcell_size);
+  double theta = options.use_adaptive_theta
+                     ? adaptive_theta(model, *cache, design, xs, ys, weights, options.alpha)
+                     : options.fixed_theta;
+  const double step_gain =
+      (1.0 - options.so.beta1) / std::sqrt(1.0 - options.so.beta2);
+  theta = std::clamp(theta, 1e-3, max_step / std::max(1e-9, step_gain));
+  result.theta = theta;
+
+  // Calibrate Eq. 7's eps to the gradient scale: coordinates with |g| well
+  // above the mean move ~theta (sign-like), low-gradient coordinates move
+  // proportionally to g (soft-sign). Without this every Steiner point —
+  // including the thousands parked at WL-optimal positions with negligible
+  // timing gradient — would take a full-size step each iteration.
+  SoOptions so_opts = options.so;
+  {
+    double gsum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      gsum += std::abs(init.grad_x[i]) + std::abs(init.grad_y[i]);
+    }
+    const double gmean = gsum / std::max<double>(1.0, 2.0 * static_cast<double>(xs.size()));
+    so_opts.eps = std::max(so_opts.eps, 3.0 * gmean * std::sqrt(1.0 - so_opts.beta2));
+  }
+  SteinerOptimizer so(xs.size(), theta, so_opts);
+
+  // Clamp into the die and into a per-point box around the initial position
+  // (total displacement bound).
+  const std::vector<double> xs0 = xs;
+  const std::vector<double> ys0 = ys;
+  const RectI boundary = design.die();
+  auto clamp_all = [&] {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = std::clamp(xs[i], xs0[i] - max_total_move, xs0[i] + max_total_move);
+      ys[i] = std::clamp(ys[i], ys0[i] - max_total_move, ys0[i] + max_total_move);
+      xs[i] = std::clamp(xs[i], static_cast<double>(boundary.lo.x),
+                         static_cast<double>(boundary.hi.x));
+      ys[i] = std::clamp(ys[i], static_cast<double>(boundary.lo.y),
+                         static_cast<double>(boundary.hi.y));
+    }
+  };
+
+  int t = 0;
+  while (true) {
+    // lambda schedule: +1% per iteration from lambda_growth_start on.
+    if (t >= options.lambda_growth_start) {
+      weights.lambda_w *= 1.0 + options.lambda_growth;
+      weights.lambda_t *= 1.0 + options.lambda_growth;
+    }
+    const GradientResult g = compute_timing_gradients(model, *cache, design, xs, ys, weights);
+    so.step(xs, g.grad_x, max_step);
+    so.step(ys, g.grad_y, max_step);
+    clamp_all();
+
+    const GradientResult cur = evaluate_timing(model, *cache, design, xs, ys, weights);
+    result.wns_trace.push_back(cur.eval_wns_ns);
+    result.tns_trace.push_back(cur.eval_tns_ns);
+    const double tol_wns = options.accept_tolerance * std::abs(result.init_wns);
+    const double tol_tns = options.accept_tolerance * std::abs(result.init_tns);
+    if (cur.eval_wns_ns > best_wns + tol_wns || cur.eval_tns_ns > best_tns + tol_tns) {
+      best_wns = std::max(best_wns, cur.eval_wns_ns);
+      best_tns = std::max(best_tns, cur.eval_tns_ns);
+      best_xs = xs;
+      best_ys = ys;
+      if (options.theta_backtrack < 1.0) {
+        so.set_theta(std::min(result.theta,
+                              so.theta() / std::pow(options.theta_backtrack, 0.25)));
+      }
+    } else {
+      xs = best_xs;  // restore S_T^(t) from the previous accepted iterate
+      ys = best_ys;
+      if (options.theta_backtrack < 1.0) {
+        so.set_theta(std::max(1e-4, so.theta() * options.theta_backtrack));
+      }
+    }
+    ++t;
+    if (t >= options.max_iterations) break;
+    const auto improved = [&](double init_v, double best_v) {
+      if (init_v >= 0.0) return false;  // no violation to fix
+      return (init_v - best_v) / init_v > options.mu;
+    };
+    if (improved(result.init_wns, best_wns) || improved(result.init_tns, best_tns)) {
+      result.converged_by_ratio = true;
+      break;
+    }
+  }
+
+  result.iterations = t;
+  result.best_wns = best_wns;
+  result.best_tns = best_tns;
+  const auto rel_gain = [](double init_v, double best_v) {
+    return init_v < 0.0 ? (init_v - best_v) / init_v : 0.0;
+  };
+  if (rel_gain(result.init_wns, best_wns) < options.min_return_improvement &&
+      rel_gain(result.init_tns, best_tns) < options.min_return_improvement) {
+    best_xs = xs0;  // below the evaluator's resolution: keep the baseline
+    best_ys = ys0;
+    result.best_wns = result.init_wns;
+    result.best_tns = result.init_tns;
+  }
+  result.forest.scatter_xy(best_xs, best_ys);
+  result.forest.clamp_steiner_points(boundary);
+  if (options.round_positions) result.forest.round_steiner_points();
+  TS_VERBOSE("TSteiner %s: %d iters, WNS %.3f -> %.3f, TNS %.1f -> %.1f (model eval)",
+             design.name().c_str(), t, result.init_wns, best_wns, result.init_tns, best_tns);
+  return result;
+}
+
+}  // namespace tsteiner

@@ -1,0 +1,82 @@
+// Concurrent timing-driven Steiner point refinement (Algorithm 1).
+//
+// Fully automated per the paper: the stepsize theta comes from the
+// Barzilai-Borwein-like Adaptive_Theta probe (Eq. 8-9), lambda_w / lambda_t
+// grow 1% per iteration starting from iteration 5, moves are clamped to the
+// grid-graph boundary and to a per-design maximum distance tied to the gcell
+// dimensions, the loop keeps the best (model-evaluated) solution and restores
+// it on regression, and it stops at N iterations or once WNS *or* TNS has
+// improved by the converge ratio mu.
+#pragma once
+
+#include <vector>
+
+#include "gnn/model.hpp"
+#include "steiner/steiner_tree.hpp"
+#include "tsteiner/optimizer.hpp"
+#include "tsteiner/penalty.hpp"
+
+namespace tsteiner {
+
+struct RefineOptions {
+  PenaltyWeights weights;          ///< lambda_w = -200, lambda_t = -2, gamma = 10
+  double lambda_growth = 0.01;     ///< +1% per iteration ...
+  int lambda_growth_start = 5;     ///< ... starting from the 5th iteration
+  double alpha = 5.0;              ///< Adaptive_Theta probe scale (Eq. 8)
+  double mu = 0.1;                 ///< converge ratio
+  int max_iterations = 40;         ///< N
+  /// Keep-best noise floor: an iterate is accepted only when it improves the
+  /// model-evaluated WNS or TNS by at least this fraction of the initial
+  /// value. Below the evaluator's resolution (small designs), nothing is
+  /// accepted and the initial trees pass through unchanged — matching the
+  /// paper's near-1.000 wirelength/via ratios.
+  double accept_tolerance = 0.002;
+  /// Return the *initial* forest unless the model-evaluated WNS or TNS
+  /// improved by at least this fraction overall. Claimed gains below the
+  /// evaluator's resolution do not transfer to sign-off (they are model
+  /// misfit, not timing), so the flow passes the baseline trees through
+  /// unchanged — the paper's near-1.000 WL/via ratios behave the same way.
+  double min_return_improvement = 0.015;
+  SoOptions so;                    ///< Eq. 7 hyper-parameters
+  /// Largest *total* displacement per Steiner point, in gcell widths. The
+  /// paper constrains moves "according to the width and length of the
+  /// global routing grid graph", i.e. essentially die-bounded; the
+  /// physics-anchored evaluator extrapolates reliably, so a generous bound
+  /// is safe (clamping to the die always applies).
+  double max_move_gcells = 64.0;
+  /// Largest displacement applied in a single iteration, in gcell widths.
+  double max_step_gcells = 0.5;
+  std::int64_t gcell_size = 8;
+  bool use_adaptive_theta = true;  ///< ablation: fixed stepsize below
+  double fixed_theta = 0.5;
+  /// Backtracking: multiply theta by this on every rejected iterate (and by
+  /// its inverse fourth root on acceptance, capped at the initial theta).
+  /// 1.0 disables backtracking and reproduces the paper's fixed-theta loop.
+  double theta_backtrack = 0.7;
+  bool round_positions = true;     ///< paper's post-processing rounding
+};
+
+struct RefineResult {
+  SteinerForest forest;
+  int iterations = 0;
+  bool converged_by_ratio = false;
+  double theta = 0.0;
+  /// Model-evaluated metrics (ns), before and after.
+  double init_wns = 0.0, init_tns = 0.0;
+  double best_wns = 0.0, best_tns = 0.0;
+  std::vector<double> wns_trace, tns_trace;
+};
+
+/// Runs Algorithm 1 on a copy of `initial` and returns the refined forest.
+/// The model must have been trained for the design's technology; the graph
+/// cache is built internally from the initial topology.
+RefineResult refine_steiner_points(const Design& design, const SteinerForest& initial,
+                                   const TimingGnn& model, const RefineOptions& options = {});
+
+/// Adaptive stepsize (Eq. 9): theta = |x - x'|_2 / |g(x) - g(x')|_2 with
+/// x' = x + alpha * g(x). Exposed for tests and the stepsize ablation.
+double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Design& design,
+                      const std::vector<double>& xs, const std::vector<double>& ys,
+                      const PenaltyWeights& weights, double alpha);
+
+}  // namespace tsteiner

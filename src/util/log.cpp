@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace tsteiner {
+
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("TSTEINER_LOG")) {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kInfo;
+}();
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace tsteiner

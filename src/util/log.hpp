@@ -1,0 +1,29 @@
+// Minimal leveled logger used by the flow and bench harnesses.
+//
+// Verbosity is controlled globally (set_log_level) and via the environment
+// variable TSTEINER_LOG (0 = silent .. 3 = debug). Tests default to silent so
+// ctest output stays readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace tsteiner {
+
+enum class LogLevel : int { kSilent = 0, kInfo = 1, kVerbose = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; message is emitted iff `level` <= current level.
+void logf(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define TS_INFO(...) ::tsteiner::logf(::tsteiner::LogLevel::kInfo, __VA_ARGS__)
+#define TS_VERBOSE(...) ::tsteiner::logf(::tsteiner::LogLevel::kVerbose, __VA_ARGS__)
+#define TS_DEBUG(...) ::tsteiner::logf(::tsteiner::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace tsteiner

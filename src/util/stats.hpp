@@ -1,0 +1,40 @@
+// Statistics helpers used by the prediction benches (R^2 score, Table III)
+// and by the random-disturbance study (Fig. 2 histogram).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsteiner {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Coefficient of determination, Eq. (10) of the paper. Returns 1.0 for a
+/// perfect fit; can be negative for fits worse than the mean predictor.
+/// Precondition: same length, non-empty; a zero-variance ground truth yields
+/// 1.0 when predictions are exact and 0.0 otherwise.
+double r2_score(std::span<const double> ground_truth, std::span<const double> predicted);
+
+/// Pearson correlation; 0 when either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  Histogram(double lo_, double hi_, std::size_t bins);
+  void add(double x);
+  std::size_t total() const;
+  /// Midpoint of bucket i.
+  double bucket_center(std::size_t i) const;
+};
+
+}  // namespace tsteiner

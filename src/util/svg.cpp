@@ -1,0 +1,71 @@
+#include "util/svg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace tsteiner {
+
+SvgWriter::SvgWriter(double x0, double y0, double x1, double y1, double scale)
+    : x0_(x0), y0_(y0), y1_(y1), scale_(scale) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" "
+                "viewBox=\"%.3f %.3f %.3f %.3f\">\n",
+                (x1 - x0) * scale_, (y1 - y0) * scale_, x0, y0, x1 - x0, y1 - y0);
+  header_ = buf;
+}
+
+void SvgWriter::rect(double x, double y, double w, double h, const std::string& fill,
+                     double opacity) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<rect x=\"%.3f\" y=\"%.3f\" width=\"%.3f\" height=\"%.3f\" fill=\"%s\" "
+                "fill-opacity=\"%.3f\"/>\n",
+                x, flip(y) - h, w, h, fill.c_str(), opacity);
+  body_ << buf;
+}
+
+void SvgWriter::line(double x1, double y1, double x2, double y2, const std::string& stroke,
+                     double width) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<line x1=\"%.3f\" y1=\"%.3f\" x2=\"%.3f\" y2=\"%.3f\" stroke=\"%s\" "
+                "stroke-width=\"%.3f\"/>\n",
+                x1, flip(y1), x2, flip(y2), stroke.c_str(), width);
+  body_ << buf;
+}
+
+void SvgWriter::circle(double cx, double cy, double r, const std::string& fill) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "<circle cx=\"%.3f\" cy=\"%.3f\" r=\"%.3f\" fill=\"%s\"/>\n",
+                cx, flip(cy), r, fill.c_str());
+  body_ << buf;
+}
+
+void SvgWriter::text(double x, double y, const std::string& content, double size) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "<text x=\"%.3f\" y=\"%.3f\" font-size=\"%.1f\">", x,
+                flip(y), size);
+  body_ << buf << content << "</text>\n";
+}
+
+std::string SvgWriter::heat_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // green (120 deg) -> red (0 deg) in HSL, rendered as rgb.
+  const double hue = 120.0 * (1.0 - t);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "hsl(%.0f,85%%,50%%)", hue);
+  return buf;
+}
+
+std::string SvgWriter::finish() { return header_ + body_.str() + "</svg>\n"; }
+
+bool SvgWriter::write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << finish();
+  return static_cast<bool>(out);
+}
+
+}  // namespace tsteiner

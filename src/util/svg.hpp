@@ -1,0 +1,38 @@
+// Minimal SVG writer used by the visualization helpers. Coordinates are in
+// user units; the canvas is sized from the viewbox given at construction.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsteiner {
+
+class SvgWriter {
+ public:
+  /// Viewbox [x0, x1] x [y0, y1]; rendered at `scale` px per unit. The y
+  /// axis is flipped so that y grows upward (chip convention).
+  SvgWriter(double x0, double y0, double x1, double y1, double scale = 4.0);
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0);
+  void line(double x1, double y1, double x2, double y2, const std::string& stroke,
+            double width = 0.5);
+  void circle(double cx, double cy, double r, const std::string& fill);
+  void text(double x, double y, const std::string& content, double size = 8.0);
+
+  /// Heat color (green -> yellow -> red) for t in [0, 1].
+  static std::string heat_color(double t);
+
+  std::string finish();
+  bool write_file(const std::string& path);
+
+ private:
+  double flip(double y) const { return y1_ - (y - y0_); }
+
+  double x0_, y0_, y1_;
+  double scale_;
+  std::ostringstream body_;
+  std::string header_;
+};
+
+}  // namespace tsteiner

@@ -1,0 +1,33 @@
+// ASCII table formatting for the bench harnesses. Each bench binary prints
+// the same rows the paper's tables report; this keeps the rendering uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsteiner {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 3);
+  /// Integer with thousands kept plain (matches the paper's raw counts).
+  static std::string num(long long v);
+
+  /// Render with column alignment; first column left-aligned, rest right.
+  std::string to_string() const;
+  /// Render as CSV (no alignment).
+  std::string to_csv() const;
+
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsteiner

@@ -1,0 +1,35 @@
+// Wall-clock timing for the Table IV runtime breakdown.
+#pragma once
+
+#include <chrono>
+
+namespace tsteiner {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (TSteiner / global route / detailed
+/// route) the way Table IV splits the flow runtime.
+struct RuntimeBreakdown {
+  double tsteiner_s = 0.0;
+  double global_route_s = 0.0;
+  double detailed_route_s = 0.0;
+  double sta_s = 0.0;
+
+  double total() const { return tsteiner_s + global_route_s + detailed_route_s + sta_s; }
+};
+
+}  // namespace tsteiner

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "droute/detailed_route.hpp"
+#include "droute/track_assign.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+struct Prep {
+  Design design;
+  SteinerForest forest;
+  GlobalRouteResult gr;
+};
+
+Prep prep(std::uint64_t seed, double cap_scale = 1.0) {
+  GeneratorParams p;
+  p.num_comb_cells = 250;
+  p.num_registers = 25;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = seed;
+  Prep out{generate_design(lib(), p), {}, {}};
+  place_design(out.design);
+  out.forest = build_forest(out.design);
+  RouterOptions ro;
+  if (cap_scale != 1.0) {
+    const GlobalRouteResult probe = global_route(out.design, out.forest, ro);
+    ro.fixed_h_cap = probe.calibrated_h_cap * cap_scale;
+    ro.fixed_v_cap = probe.calibrated_v_cap * cap_scale;
+  }
+  out.gr = global_route(out.design, out.forest, ro);
+  return out;
+}
+
+TEST(DetailedRoute, ProducesPositiveMetrics) {
+  const Prep p = prep(61);
+  const DetailedRouteResult dr = detailed_route(p.design, p.forest, p.gr);
+  EXPECT_GT(dr.wirelength_dbu, 0.0);
+  EXPECT_GT(dr.num_vias, 0);
+  EXPECT_GE(dr.num_drvs, 0);
+}
+
+TEST(DetailedRoute, WirelengthAboveGlobalRoute) {
+  const Prep p = prep(62);
+  const DetailedRouteResult dr = detailed_route(p.design, p.forest, p.gr);
+  EXPECT_GE(dr.wirelength_dbu, p.gr.wirelength_dbu);
+  EXPECT_LE(dr.wirelength_dbu, p.gr.wirelength_dbu * 1.25);
+}
+
+TEST(DetailedRoute, ViasCountBendsAndPinAccess) {
+  const Prep p = prep(63);
+  const DetailedRouteResult dr = detailed_route(p.design, p.forest, p.gr);
+  long long min_vias = 2 * static_cast<long long>(p.gr.connections.size());
+  EXPECT_GE(dr.num_vias, min_vias);
+}
+
+TEST(DetailedRoute, TighterCapacityMeansMoreDrvsAndWork) {
+  const Prep roomy = prep(64, 2.0);
+  const Prep tight = prep(64, 0.35);
+  const DetailedRouteResult dr_roomy = detailed_route(roomy.design, roomy.forest, roomy.gr);
+  const DetailedRouteResult dr_tight = detailed_route(tight.design, tight.forest, tight.gr);
+  EXPECT_GE(dr_tight.num_drvs, dr_roomy.num_drvs);
+  EXPECT_GE(dr_tight.repair_work, dr_roomy.repair_work);
+}
+
+TEST(DetailedRoute, CleanGrConvergesQuickly) {
+  const Prep roomy = prep(65, 4.0);
+  const DetailedRouteResult dr = detailed_route(roomy.design, roomy.forest, roomy.gr);
+  EXPECT_LE(dr.repair_rounds_used, 4);
+}
+
+TEST(DetailedRoute, RepairReducesConflictsVsUnrepaired) {
+  // The spill loop must strictly reduce DRVs versus skipping repair (the
+  // pin-access term is identical on both sides).
+  const Prep p = prep(67, 0.6);
+  const TrackAssignResult ta = assign_tracks(p.gr);
+  ASSERT_GT(ta.num_violations, 4) << "fixture must be congested enough to repair";
+  DrouteOptions no_repair;
+  no_repair.repair_rounds_max = 0;
+  const DetailedRouteResult raw = detailed_route(p.design, p.forest, p.gr, no_repair);
+  const DetailedRouteResult repaired = detailed_route(p.design, p.forest, p.gr);
+  EXPECT_LT(repaired.num_drvs, raw.num_drvs)
+      << "spilling into adjacent rows should repair some conflicts";
+  EXPECT_EQ(raw.repair_rounds_used, 0);
+  EXPECT_GT(repaired.repair_rounds_used, 0);
+}
+
+TEST(DetailedRoute, WorkScalesWithRounds) {
+  const Prep tight = prep(68, 0.35);
+  DrouteOptions few;
+  few.repair_rounds_max = 2;
+  DrouteOptions many;
+  many.repair_rounds_max = 24;
+  const DetailedRouteResult a = detailed_route(tight.design, tight.forest, tight.gr, few);
+  const DetailedRouteResult b = detailed_route(tight.design, tight.forest, tight.gr, many);
+  EXPECT_LE(a.repair_rounds_used, 2);
+  EXPECT_GE(b.repair_work, a.repair_work);
+  EXPECT_LE(b.num_drvs, a.num_drvs);
+}
+
+TEST(DetailedRoute, Deterministic) {
+  const Prep a = prep(66);
+  const Prep b = prep(66);
+  const DetailedRouteResult da = detailed_route(a.design, a.forest, a.gr);
+  const DetailedRouteResult db = detailed_route(b.design, b.forest, b.gr);
+  EXPECT_DOUBLE_EQ(da.wirelength_dbu, db.wirelength_dbu);
+  EXPECT_EQ(da.num_vias, db.num_vias);
+  EXPECT_EQ(da.num_drvs, db.num_drvs);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include "flow/experiment.hpp"
+#include "gnn/adam.hpp"
+#include "gnn/graph_cache.hpp"
+#include "gnn/model.hpp"
+#include "gnn/serialize.hpp"
+#include "gnn/trainer.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+struct Tiny {
+  Design design;
+  SteinerForest forest;
+  std::shared_ptr<const GraphCache> cache;
+};
+
+Tiny make_tiny(std::uint64_t seed = 71, int comb = 120) {
+  GeneratorParams p;
+  p.num_comb_cells = comb;
+  p.num_registers = 14;
+  p.num_primary_inputs = 4;
+  p.num_primary_outputs = 4;
+  p.seed = seed;
+  Tiny t{generate_design(lib(), p), {}, nullptr};
+  place_design(t.design);
+  t.forest = build_forest(t.design);
+  t.design.set_clock_period(1.0);
+  t.cache = build_graph_cache(t.design, t.forest);
+  return t;
+}
+
+TEST(GraphCache, SnodeCountsMatchForest) {
+  const Tiny t = make_tiny();
+  long long nodes = 0;
+  for (const SteinerTree& tr : t.forest.trees) nodes += static_cast<long long>(tr.nodes.size());
+  EXPECT_EQ(t.cache->num_snodes, nodes);
+  EXPECT_EQ(static_cast<long long>(t.cache->movable_to_snode.size()),
+            t.forest.num_steiner_nodes());
+}
+
+TEST(GraphCache, EveryConnectedPinHasSnode) {
+  const Tiny t = make_tiny();
+  for (const Pin& p : t.design.pins()) {
+    if (p.net < 0) continue;
+    EXPECT_GE(t.cache->pin_snode[static_cast<std::size_t>(p.id)], 0) << "pin " << p.id;
+  }
+}
+
+TEST(GraphCache, TreeEdgesSortedByDepth) {
+  const Tiny t = make_tiny();
+  // each level slice references children whose parents were reached earlier
+  std::vector<char> reached(static_cast<std::size_t>(t.cache->num_snodes), 0);
+  for (double f : t.cache->feat_is_driver) {
+    (void)f;
+  }
+  // drivers start reached
+  for (std::size_t s = 0; s < reached.size(); ++s) {
+    if (t.cache->feat_is_driver[s] > 0.5) reached[s] = 1;
+  }
+  for (std::size_t l = 0; l + 1 < t.cache->level_off.size(); ++l) {
+    for (int e = t.cache->level_off[l]; e < t.cache->level_off[l + 1]; ++e) {
+      EXPECT_TRUE(reached[static_cast<std::size_t>(t.cache->edge_pa[static_cast<std::size_t>(e)])])
+          << "edge parent not yet reached at level " << l;
+      reached[static_cast<std::size_t>(t.cache->edge_ch[static_cast<std::size_t>(e)])] = 1;
+    }
+  }
+  for (char r : reached) EXPECT_TRUE(r);
+}
+
+TEST(GraphCache, NetArcCountMatchesSinks) {
+  const Tiny t = make_tiny();
+  long long sinks = 0;
+  for (const Net& n : t.design.nets()) sinks += static_cast<long long>(n.sink_pins.size());
+  EXPECT_EQ(static_cast<long long>(t.cache->net_arcs.size()), sinks);
+  EXPECT_EQ(t.cache->net_arcs.size(), t.cache->net_arc_sink_snode.size());
+}
+
+TEST(GraphCache, CellArcSegmentsGroupByOutputPin) {
+  const Tiny t = make_tiny();
+  for (std::size_t l = 0; l + 1 < t.cache->cell_arc_off.size(); ++l) {
+    const int lo = t.cache->cell_arc_off[l];
+    const int hi = t.cache->cell_arc_off[l + 1];
+    const int out_lo = t.cache->cell_out_off[l];
+    for (int i = lo; i < hi; ++i) {
+      const int seg = t.cache->cell_arc_seg[static_cast<std::size_t>(i)];
+      EXPECT_EQ(t.cache->cell_out_pins[static_cast<std::size_t>(out_lo + seg)],
+                t.cache->cell_arcs[static_cast<std::size_t>(i)].out_pin);
+    }
+  }
+}
+
+TEST(Model, ForwardShapeAndFiniteness) {
+  const Tiny t = make_tiny();
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  Tape tape;
+  const auto bound = model.bind(tape);
+  const Value xs = tape.leaf(Tensor::column(t.forest.gather_x()));
+  const Value ys = tape.leaf(Tensor::column(t.forest.gather_y()));
+  const Value out = model.forward(tape, *t.cache, bound, xs, ys);
+  const Tensor& a = tape.value(out);
+  EXPECT_EQ(a.rows(), t.design.pins().size());
+  EXPECT_EQ(a.cols(), 1u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(a[i])) << "pin " << i;
+    EXPECT_GE(a[i], 0.0) << "arrival must be non-negative";
+  }
+}
+
+TEST(Model, GradFlowsToSteinerCoordinates) {
+  const Tiny t = make_tiny();
+  ASSERT_GT(t.forest.num_movable(), 0u);
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  Tape tape;
+  const auto bound = model.bind(tape);
+  const Value xs = tape.leaf(Tensor::column(t.forest.gather_x()), true);
+  const Value ys = tape.leaf(Tensor::column(t.forest.gather_y()), true);
+  const Value out = model.forward(tape, *t.cache, bound, xs, ys);
+  const Value loss = tape.sum_all(out);
+  tape.backward(loss);
+  const Tensor& gx = tape.grad(xs);
+  ASSERT_EQ(gx.size(), t.forest.num_movable());
+  double norm = 0.0;
+  for (std::size_t i = 0; i < gx.size(); ++i) norm += gx[i] * gx[i];
+  EXPECT_GT(norm, 0.0) << "no gradient reached the Steiner coordinates";
+}
+
+TEST(Model, MovingSteinerPointsChangesPrediction) {
+  const Tiny t = make_tiny();
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  auto run = [&](double offset) {
+    Tape tape;
+    const auto bound = model.bind(tape);
+    auto xv = t.forest.gather_x();
+    for (double& x : xv) x += offset;
+    const Value xs = tape.leaf(Tensor::column(xv));
+    const Value ys = tape.leaf(Tensor::column(t.forest.gather_y()));
+    const Value out = model.forward(tape, *t.cache, bound, xs, ys);
+    double s = 0.0;
+    for (std::size_t i = 0; i < tape.value(out).size(); ++i) s += tape.value(out)[i];
+    return s;
+  };
+  EXPECT_NE(run(0.0), run(25.0));
+}
+
+TEST(Model, StretchingTreesRaisesPredictedArrival) {
+  // The physics anchor (Elmore + R*C load) must dominate an untrained
+  // model: pushing every Steiner point outward (longer edges, more wire
+  // cap) has to raise the total predicted arrival.
+  const Tiny t = make_tiny(74, 200);
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  auto total_arrival = [&](double stretch) {
+    Tape tape;
+    const auto bound = model.bind(tape);
+    auto xv = t.forest.gather_x();
+    auto yv = t.forest.gather_y();
+    const double cx = static_cast<double>(t.design.die().hi.x) / 2.0;
+    const double cy = static_cast<double>(t.design.die().hi.y) / 2.0;
+    for (std::size_t i = 0; i < xv.size(); ++i) {
+      xv[i] = cx + (xv[i] - cx) * stretch;
+      yv[i] = cy + (yv[i] - cy) * stretch;
+    }
+    const Value xs = tape.leaf(Tensor::column(xv));
+    const Value ys = tape.leaf(Tensor::column(yv));
+    const Value out = model.forward(tape, *t.cache, bound, xs, ys);
+    double s = 0.0;
+    for (std::size_t i = 0; i < tape.value(out).size(); ++i) s += tape.value(out)[i];
+    return s;
+  };
+  EXPECT_GT(total_arrival(2.0), total_arrival(1.0));
+  EXPECT_GT(total_arrival(4.0), total_arrival(2.0));
+}
+
+TEST(Trainer, EndpointWeightedLossIsFiniteAndTrains) {
+  const Tiny t = make_tiny(75, 70);
+  const StaResult sta = run_sta(t.design, t.forest, nullptr);
+  TrainingSample s;
+  s.cache = t.cache;
+  s.xs = t.forest.gather_x();
+  s.ys = t.forest.gather_y();
+  s.arrival_label = sta.arrival;
+  s.endpoint_pins = sta.endpoints;
+  GnnConfig cfg;
+  cfg.hidden = 6;
+  TimingGnn model(cfg, lib().num_types());
+  TrainOptions topt;
+  topt.endpoint_loss_weight = 5.0;
+  topt.lr = 3e-3;
+  Trainer trainer(&model, topt);
+  std::vector<TrainingSample> samples{s};
+  const double first = trainer.train_epoch(samples);
+  EXPECT_TRUE(std::isfinite(first));
+  double last = first;
+  for (int e = 0; e < 30; ++e) last = trainer.train_epoch(samples);
+  EXPECT_LT(last, first);
+}
+
+TEST(Model, DeterministicForward) {
+  const Tiny t = make_tiny();
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  auto run = [&] {
+    Tape tape;
+    const auto bound = model.bind(tape);
+    const Value xs = tape.leaf(Tensor::column(t.forest.gather_x()));
+    const Value ys = tape.leaf(Tensor::column(t.forest.gather_y()));
+    return tape.value(model.forward(tape, *t.cache, bound, xs, ys));
+  };
+  const Tensor a = run();
+  const Tensor b = run();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(GraphCache, NetArcsGroupedByDriverLevel) {
+  const Tiny t = make_tiny(77, 140);
+  const auto levels = t.design.pin_levels();
+  for (std::size_t l = 0; l + 1 < t.cache->net_arc_off.size(); ++l) {
+    for (int i = t.cache->net_arc_off[l]; i < t.cache->net_arc_off[l + 1]; ++i) {
+      const auto& arc = t.cache->net_arcs[static_cast<std::size_t>(i)];
+      EXPECT_EQ(levels[static_cast<std::size_t>(arc.driver_pin)], static_cast<int>(l))
+          << "net arc " << i;
+    }
+  }
+}
+
+TEST(GraphCache, CellArcsGroupedByOutputLevel) {
+  const Tiny t = make_tiny(78, 140);
+  const auto levels = t.design.pin_levels();
+  for (std::size_t l = 0; l + 1 < t.cache->cell_arc_off.size(); ++l) {
+    for (int i = t.cache->cell_arc_off[l]; i < t.cache->cell_arc_off[l + 1]; ++i) {
+      const auto& arc = t.cache->cell_arcs[static_cast<std::size_t>(i)];
+      EXPECT_EQ(levels[static_cast<std::size_t>(arc.out_pin)], static_cast<int>(l))
+          << "cell arc " << i;
+    }
+  }
+}
+
+TEST(GraphCache, PhysicalConstantsPopulated) {
+  const Tiny t = make_tiny(79, 100);
+  EXPECT_GT(t.cache->wire_res, 0.0);
+  EXPECT_GT(t.cache->wire_cap, 0.0);
+  ASSERT_EQ(t.cache->cell_arc_intrinsic.size(), t.cache->cell_arcs.size());
+  for (double v : t.cache->cell_arc_intrinsic) EXPECT_GT(v, 0.0);
+  ASSERT_EQ(t.cache->regq_intrinsic.size(), t.cache->regq_pins.size());
+  for (double v : t.cache->regq_intrinsic) EXPECT_GT(v, 0.0);
+  for (int s : t.cache->tree_driver_snode) EXPECT_GE(s, 0);
+}
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  GnnConfig cfg;
+  cfg.hidden = 6;
+  TimingGnn model(cfg, lib().num_types());
+  // Nudge a weight so the file is not all-initializer values.
+  model.parameters()[0].at(0, 0) = 0.123456789;
+  const std::string path = ::testing::TempDir() + "/tsteiner_model_test.txt";
+  ASSERT_TRUE(save_model(model, path, "unit-test"));
+  const auto loaded = load_model(path, cfg, lib().num_types(), "unit-test");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->parameters().size(), model.parameters().size());
+  for (std::size_t p = 0; p < model.parameters().size(); ++p) {
+    const Tensor& a = model.parameters()[p];
+    const Tensor& b = loaded->parameters()[p];
+    ASSERT_TRUE(a.same_shape(b));
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]) << p << ":" << i;
+  }
+}
+
+TEST(Serialize, RejectsMismatchedTagOrConfig) {
+  GnnConfig cfg;
+  cfg.hidden = 6;
+  TimingGnn model(cfg, lib().num_types());
+  const std::string path = ::testing::TempDir() + "/tsteiner_model_test2.txt";
+  ASSERT_TRUE(save_model(model, path, "tag-a"));
+  EXPECT_FALSE(load_model(path, cfg, lib().num_types(), "tag-b").has_value());
+  GnnConfig other = cfg;
+  other.hidden = 8;
+  EXPECT_FALSE(load_model(path, other, lib().num_types(), "tag-a").has_value());
+  EXPECT_FALSE(load_model("/nonexistent/file", cfg, lib().num_types(), "tag-a").has_value());
+}
+
+TEST(Serialize, LoadedModelPredictsIdentically) {
+  const Tiny t = make_tiny(76, 60);
+  GnnConfig cfg;
+  cfg.hidden = 6;
+  TimingGnn model(cfg, lib().num_types());
+  const std::string path = ::testing::TempDir() + "/tsteiner_model_test3.txt";
+  ASSERT_TRUE(save_model(model, path, "pred"));
+  const auto loaded = load_model(path, cfg, lib().num_types(), "pred");
+  ASSERT_TRUE(loaded.has_value());
+  auto run = [&](const TimingGnn& m) {
+    Tape tape;
+    const auto bound = m.bind(tape);
+    const Value xs = tape.leaf(Tensor::column(t.forest.gather_x()));
+    const Value ys = tape.leaf(Tensor::column(t.forest.gather_y()));
+    return tape.value(m.forward(tape, *t.cache, bound, xs, ys));
+  };
+  const Tensor a = run(model);
+  const Tensor b = run(*loaded);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (x - 3)^2 elementwise
+  std::vector<Tensor> params{Tensor(4, 1, 0.0)};
+  Adam adam(&params, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    Tensor g(4, 1);
+    for (std::size_t k = 0; k < 4; ++k) g[k] = 2.0 * (params[0][k] - 3.0);
+    adam.step({g});
+  }
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(params[0][k], 3.0, 1e-2);
+}
+
+TEST(Adam, RejectsBadGradients) {
+  std::vector<Tensor> params{Tensor(2, 2, 0.0)};
+  Adam adam(&params, 0.1);
+  EXPECT_THROW(adam.step({}), std::runtime_error);
+  EXPECT_THROW(adam.step({Tensor(3, 3, 0.0)}), std::runtime_error);
+}
+
+TEST(Trainer, LossDecreasesOnTinyDesign) {
+  const Tiny t = make_tiny(72, 80);
+  // Label with the pre-routing STA (cheap, deterministic).
+  const StaResult sta = run_sta(t.design, t.forest, nullptr);
+  TrainingSample s;
+  s.design_name = "tiny";
+  s.cache = t.cache;
+  s.xs = t.forest.gather_x();
+  s.ys = t.forest.gather_y();
+  s.arrival_label = sta.arrival;
+  s.endpoint_pins = sta.endpoints;
+
+  GnnConfig cfg;
+  cfg.hidden = 8;
+  TimingGnn model(cfg, lib().num_types());
+  TrainOptions topt;
+  topt.epochs = 1;
+  topt.lr = 3e-3;
+  Trainer trainer(&model, topt);
+  std::vector<TrainingSample> samples{s};
+  const double first = trainer.train_epoch(samples);
+  double last = first;
+  for (int e = 0; e < 40; ++e) last = trainer.train_epoch(samples);
+  EXPECT_LT(last, first * 0.5) << "single-sample overfit should cut loss in half";
+}
+
+TEST(Trainer, EvaluateReportsR2) {
+  const Tiny t = make_tiny(73, 60);
+  const StaResult sta = run_sta(t.design, t.forest, nullptr);
+  TrainingSample s;
+  s.cache = t.cache;
+  s.xs = t.forest.gather_x();
+  s.ys = t.forest.gather_y();
+  s.arrival_label = sta.arrival;
+  s.endpoint_pins = sta.endpoints;
+  GnnConfig cfg;
+  cfg.hidden = 8;
+  TimingGnn model(cfg, lib().num_types());
+  TrainOptions topt;
+  topt.epochs = 60;
+  topt.lr = 3e-3;
+  Trainer trainer(&model, topt);
+  std::vector<TrainingSample> samples{s};
+  trainer.fit(samples);
+  const EvalMetrics m = trainer.evaluate(s);
+  EXPECT_GT(m.r2_all, 0.5) << "overfit on a single tiny sample should track STA";
+  EXPECT_LE(m.r2_all, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental.hpp"
+#include "steiner/rsmt.hpp"
+#include "tsteiner/random_move.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+struct Fixture {
+  Design design;
+  SteinerForest forest;
+};
+
+Fixture make(std::uint64_t seed, int comb = 300) {
+  GeneratorParams p;
+  p.num_comb_cells = comb;
+  p.num_registers = comb / 10;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = seed;
+  Fixture f{generate_design(lib(), p), {}};
+  place_design(f.design);
+  f.forest = build_forest(f.design);
+  f.design.set_clock_period(1.0);
+  return f;
+}
+
+/// Move all Steiner points of one tree and return the net id.
+int move_one_net(SteinerForest& forest, std::size_t tree_idx, double dx) {
+  SteinerTree& t = forest.trees[tree_idx % forest.trees.size()];
+  for (SteinerNode& n : t.nodes) {
+    if (n.is_steiner()) n.pos.x += dx;
+  }
+  return t.net;
+}
+
+void expect_results_equal(const StaResult& a, const StaResult& b) {
+  ASSERT_EQ(a.arrival.size(), b.arrival.size());
+  for (std::size_t i = 0; i < a.arrival.size(); ++i) {
+    EXPECT_NEAR(a.arrival[i], b.arrival[i], 1e-9) << "pin " << i;
+    EXPECT_NEAR(a.slew[i], b.slew[i], 1e-9) << "pin " << i;
+  }
+  EXPECT_NEAR(a.wns, b.wns, 1e-9);
+  EXPECT_NEAR(a.tns, b.tns, 1e-9);
+  EXPECT_EQ(a.num_violations, b.num_violations);
+  EXPECT_EQ(a.num_slew_violations, b.num_slew_violations);
+  EXPECT_EQ(a.num_cap_violations, b.num_cap_violations);
+}
+
+TEST(IncrementalSta, AnalyzeMatchesFullSta) {
+  const Fixture f = make(111);
+  IncrementalSta inc(f.design);
+  const StaResult& r = inc.analyze(f.forest, nullptr);
+  const StaResult full = run_sta(f.design, f.forest, nullptr);
+  expect_results_equal(r, full);
+}
+
+TEST(IncrementalSta, SingleNetUpdateMatchesFull) {
+  const Fixture f = make(112);
+  IncrementalSta inc(f.design);
+  inc.analyze(f.forest, nullptr);
+
+  SteinerForest moved = f.forest;
+  // Find a tree with Steiner points.
+  int dirty_net = -1;
+  for (std::size_t t = 0; t < moved.trees.size(); ++t) {
+    if (moved.trees[t].num_steiner_nodes() > 0) {
+      dirty_net = move_one_net(moved, t, 15.0);
+      break;
+    }
+  }
+  ASSERT_GE(dirty_net, 0);
+  const StaResult& r = inc.update(moved, nullptr, {dirty_net});
+  const StaResult full = run_sta(f.design, moved, nullptr);
+  expect_results_equal(r, full);
+}
+
+TEST(IncrementalSta, MultiNetUpdateMatchesFull) {
+  const Fixture f = make(113);
+  IncrementalSta inc(f.design);
+  inc.analyze(f.forest, nullptr);
+
+  SteinerForest moved = f.forest;
+  std::vector<int> dirty;
+  int count = 0;
+  for (std::size_t t = 0; t < moved.trees.size() && count < 8; ++t) {
+    if (moved.trees[t].num_steiner_nodes() > 0) {
+      dirty.push_back(move_one_net(moved, t, 8.0 + static_cast<double>(t % 5)));
+      ++count;
+    }
+  }
+  ASSERT_GT(dirty.size(), 2u);
+  const StaResult& r = inc.update(moved, nullptr, dirty);
+  const StaResult full = run_sta(f.design, moved, nullptr);
+  expect_results_equal(r, full);
+}
+
+TEST(IncrementalSta, UpdateTouchesFarFewerCellsThanFull) {
+  const Fixture f = make(114, 600);
+  IncrementalSta inc(f.design);
+  inc.analyze(f.forest, nullptr);
+  SteinerForest moved = f.forest;
+  int dirty_net = -1;
+  for (std::size_t t = 0; t < moved.trees.size(); ++t) {
+    if (moved.trees[t].num_steiner_nodes() > 0) {
+      dirty_net = move_one_net(moved, t, 4.0);
+      break;
+    }
+  }
+  ASSERT_GE(dirty_net, 0);
+  inc.update(moved, nullptr, {dirty_net});
+  EXPECT_LT(inc.last_update_cell_count(),
+            static_cast<long long>(f.design.cells().size()) / 2)
+      << "one net's cone should be a small fraction of the design";
+}
+
+TEST(IncrementalSta, RepeatedUpdatesStayExact) {
+  const Fixture f = make(115);
+  IncrementalSta inc(f.design);
+  inc.analyze(f.forest, nullptr);
+  SteinerForest moved = f.forest;
+  Rng rng(9);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int> dirty;
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t t = rng.index(moved.trees.size());
+      if (moved.trees[t].num_steiner_nodes() == 0) continue;
+      dirty.push_back(move_one_net(moved, t, rng.uniform(-6.0, 6.0)));
+    }
+    if (dirty.empty()) continue;
+    inc.update(moved, nullptr, dirty);
+  }
+  const StaResult full = run_sta(f.design, moved, nullptr);
+  expect_results_equal(inc.result(), full);
+}
+
+TEST(IncrementalSta, RegisterDrivenNetUpdates) {
+  // Moving a register's output net changes its CK->Q delay via the load.
+  const Fixture f = make(116);
+  IncrementalSta inc(f.design);
+  inc.analyze(f.forest, nullptr);
+  SteinerForest moved = f.forest;
+  int dirty_net = -1;
+  for (const Cell& c : f.design.cells()) {
+    if (!f.design.is_register_cell(c.id)) continue;
+    const int net = f.design.pin(c.output_pin).net;
+    if (net < 0) continue;
+    const int t = moved.net_to_tree[static_cast<std::size_t>(net)];
+    if (t < 0 || moved.trees[static_cast<std::size_t>(t)].num_steiner_nodes() == 0) continue;
+    dirty_net = move_one_net(moved, static_cast<std::size_t>(t), 20.0);
+    break;
+  }
+  if (dirty_net < 0) GTEST_SKIP() << "no register net with Steiner points in this seed";
+  const StaResult& r = inc.update(moved, nullptr, {dirty_net});
+  const StaResult full = run_sta(f.design, moved, nullptr);
+  expect_results_equal(r, full);
+}
+
+}  // namespace
+}  // namespace tsteiner

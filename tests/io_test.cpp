@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/design_generator.hpp"
+#include "netlist/design_io.hpp"
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+#include "steiner/forest_io.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+Design make_design(std::uint64_t seed) {
+  GeneratorParams p;
+  p.num_comb_cells = 180;
+  p.num_registers = 20;
+  p.num_primary_inputs = 5;
+  p.num_primary_outputs = 5;
+  p.seed = seed;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  d.set_clock_period(3.14159);
+  return d;
+}
+
+TEST(DesignIo, RoundTripPreservesStructure) {
+  const Design d = make_design(81);
+  std::stringstream ss;
+  write_design(d, ss);
+  const auto loaded = read_design(ss, lib());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name(), d.name());
+  EXPECT_EQ(loaded->die(), d.die());
+  EXPECT_DOUBLE_EQ(loaded->clock_period(), d.clock_period());
+  ASSERT_EQ(loaded->cells().size(), d.cells().size());
+  ASSERT_EQ(loaded->pins().size(), d.pins().size());
+  ASSERT_EQ(loaded->nets().size(), d.nets().size());
+  for (std::size_t c = 0; c < d.cells().size(); ++c) {
+    EXPECT_EQ(loaded->cells()[c].type, d.cells()[c].type);
+    EXPECT_EQ(loaded->cells()[c].pos, d.cells()[c].pos);
+  }
+  for (std::size_t n = 0; n < d.nets().size(); ++n) {
+    EXPECT_EQ(loaded->nets()[n].driver_pin, d.nets()[n].driver_pin);
+    EXPECT_EQ(loaded->nets()[n].sink_pins, d.nets()[n].sink_pins);
+  }
+}
+
+TEST(DesignIo, RoundTripPreservesTiming) {
+  const Design d = make_design(82);
+  std::stringstream ss;
+  write_design(d, ss);
+  const auto loaded = read_design(ss, lib());
+  ASSERT_TRUE(loaded.has_value());
+  const SteinerForest fa = build_forest(d);
+  const SteinerForest fb = build_forest(*loaded);
+  const StaResult ra = run_sta(d, fa, nullptr);
+  const StaResult rb = run_sta(*loaded, fb, nullptr);
+  EXPECT_DOUBLE_EQ(ra.wns, rb.wns);
+  EXPECT_DOUBLE_EQ(ra.tns, rb.tns);
+}
+
+TEST(DesignIo, RejectsGarbage) {
+  std::stringstream ss("not a design file\n");
+  EXPECT_FALSE(read_design(ss, lib()).has_value());
+  std::stringstream truncated("tsteiner-design-v1\nname x\ndie 0 0 10 10\n");
+  EXPECT_FALSE(read_design(truncated, lib()).has_value());
+}
+
+TEST(DesignIo, RejectsUnknownCellType) {
+  std::stringstream ss(
+      "tsteiner-design-v1\nname x\ndie 0 0 10 10\nclock 1\nobjects\n"
+      "cell BOGUS_CELL 1 1\nend_objects\nnets 0\n");
+  EXPECT_FALSE(read_design(ss, lib()).has_value());
+}
+
+TEST(ForestIo, RoundTripExact) {
+  const Design d = make_design(83);
+  SteinerForest f = build_forest(d);
+  // Nudge some Steiner points off-grid to exercise double round-tripping.
+  for (SteinerTree& t : f.trees) {
+    for (SteinerNode& n : t.nodes) {
+      if (n.is_steiner()) n.pos.x += 0.1234567890123;
+    }
+  }
+  std::stringstream ss;
+  write_forest(f, ss);
+  const auto loaded = read_forest(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->trees.size(), f.trees.size());
+  EXPECT_EQ(loaded->net_to_tree, f.net_to_tree);
+  EXPECT_EQ(loaded->num_movable(), f.num_movable());
+  for (std::size_t t = 0; t < f.trees.size(); ++t) {
+    const SteinerTree& a = f.trees[t];
+    const SteinerTree& b = loaded->trees[t];
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    EXPECT_EQ(a.driver_node, b.driver_node);
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+      EXPECT_EQ(a.nodes[n].pin, b.nodes[n].pin);
+      EXPECT_DOUBLE_EQ(a.nodes[n].pos.x, b.nodes[n].pos.x);
+      EXPECT_DOUBLE_EQ(a.nodes[n].pos.y, b.nodes[n].pos.y);
+    }
+  }
+}
+
+TEST(ForestIo, LoadedForestTimesIdentically) {
+  const Design d = make_design(84);
+  const SteinerForest f = build_forest(d);
+  std::stringstream ss;
+  write_forest(f, ss);
+  const auto loaded = read_forest(ss);
+  ASSERT_TRUE(loaded.has_value());
+  const StaResult ra = run_sta(d, f, nullptr);
+  const StaResult rb = run_sta(d, *loaded, nullptr);
+  EXPECT_DOUBLE_EQ(ra.wns, rb.wns);
+  EXPECT_DOUBLE_EQ(ra.tns, rb.tns);
+}
+
+TEST(ForestIo, RejectsCorruptTrees) {
+  std::stringstream garbage("wrong header\n");
+  EXPECT_FALSE(read_forest(garbage).has_value());
+  // Disconnected tree (2 nodes, 0 edges) must be rejected.
+  std::stringstream disconnected(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 0 2 0\n0 0 0\n1 5 5\n");
+  EXPECT_FALSE(read_forest(disconnected).has_value());
+  // Edge index out of range.
+  std::stringstream bad_edge(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 0 2 1\n0 0 0\n1 5 5\n0 7\n");
+  EXPECT_FALSE(read_forest(bad_edge).has_value());
+}
+
+TEST(DesignIo, FileApiWorks) {
+  const Design d = make_design(85);
+  const std::string path = ::testing::TempDir() + "/design_io_test.txt";
+  ASSERT_TRUE(write_design_file(d, path));
+  const auto loaded = read_design_file(path, lib());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->stats().num_cells, d.stats().num_cells);
+  EXPECT_FALSE(read_design_file("/nonexistent/file.txt", lib()).has_value());
+}
+
+}  // namespace
+}  // namespace tsteiner

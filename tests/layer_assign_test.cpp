@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "route/layer_assign.hpp"
+#include "sta/sta.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+struct Prep {
+  Design design;
+  SteinerForest forest;
+  GlobalRouteResult gr;
+};
+
+Prep prep(std::uint64_t seed) {
+  GeneratorParams p;
+  p.num_comb_cells = 300;
+  p.num_registers = 32;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = seed;
+  Prep out{generate_design(lib(), p), {}, {}};
+  place_design(out.design);
+  out.forest = build_forest(out.design);
+  out.gr = global_route(out.design, out.forest);
+  return out;
+}
+
+TEST(LayerAssign, DefaultStackIsOrdered) {
+  const auto stack = default_layer_stack();
+  ASSERT_GE(stack.size(), 2u);
+  for (std::size_t l = 1; l < stack.size(); ++l) {
+    EXPECT_LT(stack[l].r_mult, stack[l - 1].r_mult) << "upper layers must be faster";
+    EXPECT_LE(stack[l].capacity_share, stack[l - 1].capacity_share)
+        << "upper layers must be scarcer";
+  }
+}
+
+TEST(LayerAssign, CoversEveryConnection) {
+  const Prep p = prep(71);
+  const LayerAssignment la = assign_layers(p.forest, p.gr, LayerPolicy::kWirelength);
+  ASSERT_EQ(la.layer_of_connection.size(), p.gr.connections.size());
+  for (int l : la.layer_of_connection) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, static_cast<int>(la.stack.size()));
+  }
+}
+
+TEST(LayerAssign, BudgetsRespected) {
+  const Prep p = prep(72);
+  const LayerAssignment la = assign_layers(p.forest, p.gr, LayerPolicy::kWirelength);
+  // Measure assigned wirelength per layer pair against the share budgets.
+  std::vector<double> used(la.stack.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t c = 0; c < p.gr.connections.size(); ++c) {
+    const RoutedConnection& conn = p.gr.connections[c];
+    const SteinerTree& t = p.forest.trees[static_cast<std::size_t>(conn.tree)];
+    const SteinerEdge& e = t.edges[static_cast<std::size_t>(conn.edge)];
+    const double len =
+        conn.length_dbu(p.gr.grid, t.nodes[static_cast<std::size_t>(e.a)].pos,
+                        t.nodes[static_cast<std::size_t>(e.b)].pos);
+    used[static_cast<std::size_t>(la.layer_of_connection[c])] += len;
+    total += len;
+  }
+  for (std::size_t l = 1; l < la.stack.size(); ++l) {
+    EXPECT_LE(used[l], la.stack[l].capacity_share * total + 1e-6);
+  }
+}
+
+TEST(LayerAssign, WirelengthPolicyPromotesLongest) {
+  const Prep p = prep(73);
+  const LayerAssignment la = assign_layers(p.forest, p.gr, LayerPolicy::kWirelength);
+  // The single longest connection must sit on a promoted layer (budget of
+  // the fast pairs easily covers one connection).
+  std::size_t longest = 0;
+  double best = -1.0;
+  for (std::size_t c = 0; c < p.gr.connections.size(); ++c) {
+    const RoutedConnection& conn = p.gr.connections[c];
+    const SteinerTree& t = p.forest.trees[static_cast<std::size_t>(conn.tree)];
+    const SteinerEdge& e = t.edges[static_cast<std::size_t>(conn.edge)];
+    const double len =
+        conn.length_dbu(p.gr.grid, t.nodes[static_cast<std::size_t>(e.a)].pos,
+                        t.nodes[static_cast<std::size_t>(e.b)].pos);
+    if (len > best) {
+      best = len;
+      longest = c;
+    }
+  }
+  EXPECT_GT(la.layer_of_connection[longest], 0);
+}
+
+TEST(LayerAssign, AnyAssignmentImprovesTiming) {
+  const Prep p = prep(74);
+  const StaResult base = run_sta(p.design, p.forest, &p.gr);
+  const LayerAssignment la = assign_layers(p.forest, p.gr, LayerPolicy::kWirelength);
+  const StaResult fast = run_sta(p.design, p.forest, &p.gr, {}, &la);
+  // Promoting wire to lower-R layers can only reduce arrival times.
+  EXPECT_GE(fast.wns, base.wns);
+  EXPECT_GE(fast.tns, base.tns);
+}
+
+TEST(LayerAssign, TimingDrivenBeatsWirelengthOnWns) {
+  // Averaged across seeds: prioritizing critical nets for fast layers should
+  // produce equal-or-better WNS than the timing-blind policy.
+  double wl_wns = 0.0, td_wns = 0.0;
+  for (std::uint64_t seed : {75u, 76u, 77u, 78u}) {
+    const Prep p = prep(seed);
+    const StaResult base = run_sta(p.design, p.forest, &p.gr);
+    const auto crit = connection_criticality(p.design, p.forest, p.gr, base.arrival);
+    const LayerAssignment wl = assign_layers(p.forest, p.gr, LayerPolicy::kWirelength);
+    const LayerAssignment td =
+        assign_layers(p.forest, p.gr, LayerPolicy::kTimingDriven, &crit);
+    wl_wns += run_sta(p.design, p.forest, &p.gr, {}, &wl).wns;
+    td_wns += run_sta(p.design, p.forest, &p.gr, {}, &td).wns;
+  }
+  EXPECT_GE(td_wns, wl_wns - 1e-9);
+}
+
+TEST(LayerAssign, ViaAccountingMatchesPromotions) {
+  const Prep p = prep(79);
+  const LayerAssignment la = assign_layers(p.forest, p.gr, LayerPolicy::kWirelength);
+  long long promotions = 0;
+  for (int l : la.layer_of_connection) promotions += l > 0 ? 1 : 0;
+  EXPECT_EQ(la.num_layer_vias, 2 * promotions);
+}
+
+TEST(LayerAssign, EmptyInputHandled) {
+  SteinerForest empty_forest;
+  GlobalRouteResult empty_gr;
+  const LayerAssignment la =
+      assign_layers(empty_forest, empty_gr, LayerPolicy::kWirelength);
+  EXPECT_TRUE(la.layer_of_connection.empty());
+  EXPECT_EQ(la.num_layer_vias, 0);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design_generator.hpp"
+#include "netlist/liberty.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+TEST(Lut2, ExactGridPoints) {
+  Lut2 t({0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 1.0), 3.0);
+}
+
+TEST(Lut2, BilinearInterpolation) {
+  Lut2 t({0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(t.lookup(0.25, 0.75), 0.5 + 0.75);
+}
+
+TEST(Lut2, ClampedExtrapolation) {
+  Lut2 t({0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.lookup(-5.0, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(10.0, 10.0), 3.0);
+}
+
+TEST(CellLibrary, HasExpectedTypes) {
+  EXPECT_GE(lib().num_types(), 10);
+  EXPECT_GE(lib().find("INV_X1"), 0);
+  EXPECT_GE(lib().find("NAND2_X1"), 0);
+  EXPECT_GE(lib().register_type(), 0);
+  EXPECT_EQ(lib().find("NOT_A_CELL"), -1);
+  EXPECT_TRUE(lib().type(lib().register_type()).is_register);
+}
+
+TEST(CellLibrary, DelayGrowsWithLoad) {
+  const CellType& inv = lib().type(lib().find("INV_X1"));
+  const double d_small = inv.arcs[0].delay.lookup(0.02, 0.002);
+  const double d_large = inv.arcs[0].delay.lookup(0.02, 0.2);
+  EXPECT_GT(d_large, d_small);
+}
+
+TEST(CellLibrary, StrongerDriveIsFasterUnderLoad) {
+  const CellType& x1 = lib().type(lib().find("INV_X1"));
+  const CellType& x4 = lib().type(lib().find("INV_X4"));
+  EXPECT_LT(x4.arcs[0].delay.lookup(0.02, 0.1), x1.arcs[0].delay.lookup(0.02, 0.1));
+}
+
+Design make_inverter_chain(int n) {
+  Design d("chain", &lib());
+  d.set_die({{0, 0}, {100, 100}});
+  const int pi = d.add_primary_input({0, 50});
+  int prev_out = pi;
+  for (int i = 0; i < n; ++i) {
+    const int c = d.add_cell(lib().find("INV_X1"));
+    d.cell(c).pos = {10 * (i + 1), 50};
+    const int net = d.add_net(prev_out);
+    d.connect_sink(net, d.cell(c).input_pins[0]);
+    prev_out = d.cell(c).output_pin;
+  }
+  const int po = d.add_primary_output({100, 50});
+  const int net = d.add_net(prev_out);
+  d.connect_sink(net, po);
+  return d;
+}
+
+TEST(Design, InverterChainValidates) {
+  Design d = make_inverter_chain(5);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.cells().size(), 5u);
+  EXPECT_EQ(d.nets().size(), 6u);
+}
+
+TEST(Design, TopoOrderRespectsDependencies) {
+  Design d = make_inverter_chain(8);
+  const auto order = d.combinational_topo_order();
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LT(order[i], order[i + 1]);  // chain built in creation order
+  }
+}
+
+TEST(Design, PinLevelsMonotoneAlongChain) {
+  Design d = make_inverter_chain(4);
+  const auto levels = d.pin_levels();
+  for (const Cell& c : d.cells()) {
+    const int in_level = levels[static_cast<std::size_t>(c.input_pins[0])];
+    const int out_level = levels[static_cast<std::size_t>(c.output_pin)];
+    EXPECT_EQ(out_level, in_level + 1);
+  }
+}
+
+TEST(Design, EndpointsAndStartpoints) {
+  Design d("seq", &lib());
+  d.set_die({{0, 0}, {50, 50}});
+  const int reg = d.add_cell(lib().register_type());
+  d.cell(reg).pos = {10, 10};
+  const int inv = d.add_cell(lib().find("INV_X1"));
+  d.cell(inv).pos = {20, 10};
+  // Q -> inv -> D (a self loop through combinational logic)
+  const int n1 = d.add_net(d.cell(reg).output_pin);
+  d.connect_sink(n1, d.cell(inv).input_pins[0]);
+  const int n2 = d.add_net(d.cell(inv).output_pin);
+  d.connect_sink(n2, d.cell(reg).input_pins[0]);
+  d.validate();
+  EXPECT_EQ(d.endpoint_pins().size(), 1u);  // register D
+  EXPECT_EQ(d.startpoint_pins().size(), 1u);  // register Q
+  EXPECT_EQ(d.endpoint_pins()[0], d.cell(reg).input_pins[0]);
+}
+
+TEST(Design, CycleDetection) {
+  Design d("cyc", &lib());
+  d.set_die({{0, 0}, {50, 50}});
+  const int a = d.add_cell(lib().find("INV_X1"));
+  const int b = d.add_cell(lib().find("INV_X1"));
+  const int na = d.add_net(d.cell(a).output_pin);
+  d.connect_sink(na, d.cell(b).input_pins[0]);
+  const int nb = d.add_net(d.cell(b).output_pin);
+  d.connect_sink(nb, d.cell(a).input_pins[0]);
+  EXPECT_THROW(d.combinational_topo_order(), std::runtime_error);
+}
+
+TEST(Design, DoubleDriveThrows) {
+  Design d("dd", &lib());
+  const int pi = d.add_primary_input({0, 0});
+  d.add_net(pi);
+  EXPECT_THROW(d.add_net(pi), std::runtime_error);
+}
+
+TEST(Design, SinkCannotBeOutput) {
+  Design d("so", &lib());
+  const int a = d.add_cell(lib().find("INV_X1"));
+  const int b = d.add_cell(lib().find("INV_X1"));
+  const int n = d.add_net(d.cell(a).output_pin);
+  EXPECT_THROW(d.connect_sink(n, d.cell(b).output_pin), std::runtime_error);
+}
+
+TEST(Lut2, SingleRowAndColumnTables) {
+  // Degenerate axes must interpolate along the remaining axis only.
+  Lut2 row({0.5}, {0.0, 1.0}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(row.lookup(0.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(row.lookup(9.0, 0.0), 2.0);
+  Lut2 col({0.0, 1.0}, {0.5}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(col.lookup(0.5, 9.0), 3.0);
+}
+
+TEST(CellLibrary, RegisterArcAndSetup) {
+  const CellType& dff = lib().type(lib().register_type());
+  EXPECT_EQ(dff.num_inputs, 1);
+  ASSERT_EQ(dff.arcs.size(), 1u);  // CK->Q
+  EXPECT_GT(dff.setup_ns, 0.0);
+  EXPECT_GT(dff.arcs[0].delay.lookup(0.05, 0.01), 0.0);
+}
+
+TEST(CellLibrary, WireParasiticsPositive) {
+  EXPECT_GT(lib().wire_res_kohm_per_dbu(), 0.0);
+  EXPECT_GT(lib().wire_cap_pf_per_dbu(), 0.0);
+  EXPECT_GT(lib().via_res_kohm(), 0.0);
+}
+
+TEST(Design, DisconnectSinkDetaches) {
+  Design d = make_inverter_chain(2);
+  const Net& n = d.nets()[0];
+  const int sink = n.sink_pins[0];
+  d.disconnect_sink(n.id, sink);
+  EXPECT_EQ(d.pin(sink).net, -1);
+  EXPECT_TRUE(d.nets()[0].sink_pins.empty());
+  // Reconnect restores validity.
+  d.connect_sink(n.id, sink);
+  EXPECT_NO_THROW(d.validate());
+  // Detaching a pin from the wrong net throws.
+  EXPECT_THROW(d.disconnect_sink(1, sink), std::runtime_error);
+}
+
+TEST(Generator, ProducesValidDesign) {
+  GeneratorParams p;
+  p.num_comb_cells = 400;
+  p.num_registers = 40;
+  p.num_primary_inputs = 8;
+  p.num_primary_outputs = 8;
+  p.seed = 3;
+  const Design d = generate_design(lib(), p);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.cells().size(), 440u);
+}
+
+TEST(Generator, EveryNetHasSinks) {
+  GeneratorParams p;
+  p.num_comb_cells = 300;
+  p.num_registers = 30;
+  p.seed = 4;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  const Design d = generate_design(lib(), p);
+  for (const Net& n : d.nets()) {
+    EXPECT_FALSE(n.sink_pins.empty()) << "net " << n.name;
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorParams p;
+  p.num_comb_cells = 200;
+  p.num_registers = 20;
+  p.num_primary_inputs = 5;
+  p.num_primary_outputs = 5;
+  p.seed = 77;
+  const Design a = generate_design(lib(), p);
+  const Design b = generate_design(lib(), p);
+  ASSERT_EQ(a.nets().size(), b.nets().size());
+  for (std::size_t i = 0; i < a.nets().size(); ++i) {
+    EXPECT_EQ(a.nets()[i].driver_pin, b.nets()[i].driver_pin);
+    EXPECT_EQ(a.nets()[i].sink_pins, b.nets()[i].sink_pins);
+  }
+}
+
+TEST(Generator, StatsScaleWithCellCount) {
+  GeneratorParams p;
+  p.num_comb_cells = 500;
+  p.num_registers = 50;
+  p.num_primary_inputs = 10;
+  p.num_primary_outputs = 10;
+  p.seed = 5;
+  const Design d = generate_design(lib(), p);
+  const DesignStats s = d.stats();
+  EXPECT_EQ(s.num_cells, 550);
+  // cell edges per cell should land near the Table-I ratio (~2.6 comb)
+  EXPECT_GT(s.num_cell_edges, s.num_cells);
+  EXPECT_LT(s.num_cell_edges, 4 * s.num_cells);
+  // every cell edge implies a net edge; ports add more
+  EXPECT_GE(s.num_net_edges, s.num_cell_edges);
+  EXPECT_GT(s.num_endpoints, 50);
+}
+
+TEST(Generator, ControlNetsHaveHighFanout) {
+  GeneratorParams p;
+  p.num_comb_cells = 1200;
+  p.num_registers = 120;
+  p.num_primary_inputs = 10;
+  p.num_primary_outputs = 10;
+  p.num_control_sources = 2;
+  p.control_pick_prob = 0.05;
+  p.seed = 6;
+  const Design d = generate_design(lib(), p);
+  int max_fanout = 0;
+  for (const Net& n : d.nets()) {
+    max_fanout = std::max(max_fanout, static_cast<int>(n.sink_pins.size()));
+  }
+  // ~0.05 * 2.5 * 1200 / 2 control sinks per control net
+  EXPECT_GT(max_fanout, 30) << "control nets should fan out widely";
+}
+
+TEST(Generator, NoControlSourcesDisablesHighFanout) {
+  GeneratorParams p;
+  p.num_comb_cells = 600;
+  p.num_registers = 60;
+  p.num_primary_inputs = 8;
+  p.num_primary_outputs = 8;
+  p.num_control_sources = 0;
+  p.seed = 6;
+  const Design d = generate_design(lib(), p);
+  int max_fanout = 0;
+  for (const Net& n : d.nets()) {
+    max_fanout = std::max(max_fanout, static_cast<int>(n.sink_pins.size()));
+  }
+  EXPECT_LT(max_fanout, 40);
+}
+
+TEST(Generator, BenchmarkSuiteHasPaperSplit) {
+  const auto suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  int train = 0;
+  for (const auto& s : suite) train += s.is_training ? 1 : 0;
+  EXPECT_EQ(train, 6);
+  EXPECT_EQ(suite[0].name, "chacha");
+  EXPECT_EQ(suite[9].name, "des3");
+}
+
+TEST(Generator, ScaleShrinksDesigns) {
+  const auto suite = benchmark_suite();
+  const GeneratorParams full = params_for(suite[0], 1.0);
+  const GeneratorParams small = params_for(suite[0], 0.1);
+  EXPECT_GT(full.num_comb_cells, 5 * small.num_comb_cells);
+  EXPECT_THROW(params_for(suite[0], 0.0), std::runtime_error);
+  EXPECT_THROW(params_for(suite[0], 1.5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+Design make_design(int comb, int regs, std::uint64_t seed) {
+  GeneratorParams p;
+  p.num_comb_cells = comb;
+  p.num_registers = regs;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = seed;
+  return generate_design(lib(), p);
+}
+
+TEST(Placer, AllCellsInsideDie) {
+  Design d = make_design(300, 30, 21);
+  place_design(d);
+  for (const Cell& c : d.cells()) {
+    EXPECT_TRUE(d.die().contains(c.pos)) << c.name;
+  }
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Placer, ImprovesHpwlOverRandom) {
+  Design d = make_design(400, 40, 22);
+  // Random-only baseline: 0 median iterations.
+  Design d2 = make_design(400, 40, 22);
+  PlacerOptions none;
+  none.iterations = 0;
+  place_design(d2, none);
+  const double hpwl_random = total_hpwl(d2);
+  place_design(d);
+  const double hpwl_placed = total_hpwl(d);
+  EXPECT_LT(hpwl_placed, hpwl_random * 0.8)
+      << "median relaxation should clearly beat random placement";
+}
+
+TEST(Placer, DeterministicForSeed) {
+  Design a = make_design(200, 20, 23);
+  Design b = make_design(200, 20, 23);
+  place_design(a);
+  place_design(b);
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    EXPECT_EQ(a.cells()[i].pos, b.cells()[i].pos);
+  }
+}
+
+TEST(Placer, RowsDoNotOverflowDie) {
+  Design d = make_design(500, 50, 24);
+  place_design(d);
+  // Legalization packs cells into rows: each (x, y) start must be unique.
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (const Cell& c : d.cells()) {
+    EXPECT_TRUE(seen.insert({c.pos.x, c.pos.y}).second)
+        << "two cells share a site at " << c.pos;
+  }
+}
+
+TEST(Placer, HpwlPositive) {
+  Design d = make_design(100, 10, 25);
+  place_design(d);
+  EXPECT_GT(total_hpwl(d), 0.0);
+}
+
+TEST(Placer, WeightedHpwlMatchesUniform) {
+  Design d = make_design(150, 15, 26);
+  place_design(d);
+  const std::vector<double> ones(d.nets().size(), 1.0);
+  EXPECT_DOUBLE_EQ(total_hpwl(d), weighted_hpwl(d, ones));
+  const std::vector<double> twos(d.nets().size(), 2.0);
+  EXPECT_DOUBLE_EQ(2.0 * total_hpwl(d), weighted_hpwl(d, twos));
+}
+
+TEST(Placer, TimingNetWeightsInRange) {
+  Design d = make_design(200, 20, 27);
+  place_design(d);
+  std::vector<double> arrival(d.pins().size(), 0.0);
+  Rng rng(3);
+  for (double& a : arrival) a = rng.uniform(0.0, 2.0);
+  const auto w = timing_net_weights(d, arrival, /*clock=*/1.5, /*max_w=*/4.0);
+  ASSERT_EQ(w.size(), d.nets().size());
+  for (double x : w) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 4.0);
+  }
+}
+
+TEST(Placer, CriticalNetsGetLargerWeights) {
+  Design d = make_design(120, 12, 28);
+  place_design(d);
+  std::vector<double> arrival(d.pins().size(), 0.0);
+  // Make net 0's sinks very late, net 1's early.
+  for (int s : d.nets()[0].sink_pins) arrival[static_cast<std::size_t>(s)] = 2.0;
+  for (int s : d.nets()[1].sink_pins) arrival[static_cast<std::size_t>(s)] = 0.1;
+  const auto w = timing_net_weights(d, arrival, /*clock=*/1.0);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+TEST(Placer, NetWeightingPullsCriticalNetsTighter) {
+  // Place twice: once uniform, once with one net heavily weighted; that
+  // net's HPWL must not grow, and usually shrinks.
+  Design a = make_design(250, 25, 29);
+  Design b = make_design(250, 25, 29);
+  place_design(a);
+  // Pick a multi-sink net to weight.
+  int target = -1;
+  for (const Net& n : a.nets()) {
+    if (n.sink_pins.size() >= 3) {
+      target = n.id;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  PlacerOptions opts;
+  opts.net_weights.assign(b.nets().size(), 1.0);
+  opts.net_weights[static_cast<std::size_t>(target)] = 8.0;
+  place_design(b, opts);
+  auto net_hpwl = [](const Design& d, int net) {
+    const Net& n = d.nets()[static_cast<std::size_t>(net)];
+    RectI bb{d.pin_position(n.driver_pin), d.pin_position(n.driver_pin)};
+    for (int s : n.sink_pins) bb.expand(d.pin_position(s));
+    return static_cast<double>(bb.half_perimeter());
+  };
+  EXPECT_LE(net_hpwl(b, target), net_hpwl(a, target) * 1.05)
+      << "an 8x-weighted net should not spread out";
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "steiner/prim_dijkstra.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+Design make_star_net(const std::vector<PointI>& sink_positions, PointI driver_pos) {
+  Design d("star", &lib());
+  d.set_die({{0, 0}, {400, 400}});
+  const int drv = d.add_cell(lib().find("BUF_X1"));
+  d.cell(drv).pos = driver_pos;
+  const int net = d.add_net(d.cell(drv).output_pin);
+  for (const PointI& p : sink_positions) {
+    const int c = d.add_cell(lib().find("INV_X1"));
+    d.cell(c).pos = p;
+    d.connect_sink(net, d.cell(c).input_pins[0]);
+  }
+  return d;
+}
+
+double max_sink_pathlength(const SteinerTree& t) {
+  const auto dist = t.path_lengths_from_driver();
+  double worst = 0.0;
+  for (std::size_t n = 0; n < t.nodes.size(); ++n) {
+    if (!t.nodes[n].is_steiner() && static_cast<int>(n) != t.driver_node) {
+      worst = std::max(worst, dist[n]);
+    }
+  }
+  return worst;
+}
+
+std::vector<PointI> random_sinks(int count, Rng& rng) {
+  std::vector<PointI> sinks;
+  for (int i = 0; i < count; ++i) {
+    sinks.push_back({rng.uniform_int(0, 400), rng.uniform_int(0, 400)});
+  }
+  return sinks;
+}
+
+TEST(PrimDijkstra, AlphaZeroIsSpanningMst) {
+  Rng rng(61);
+  Design d = make_star_net(random_sinks(10, rng), {200, 200});
+  PdOptions opts;
+  opts.alpha = 0.0;
+  opts.steinerize_corners = false;
+  const SteinerTree t = build_pd_tree(d, 0, opts);
+  EXPECT_TRUE(t.is_valid_tree());
+  EXPECT_EQ(t.num_steiner_nodes(), 0);
+  // alpha = 0 reduces to Prim: wirelength equals the pin MST length
+  std::vector<PointF> pts;
+  for (const SteinerNode& n : t.nodes) pts.push_back(n.pos);
+  EXPECT_NEAR(t.wirelength(), mst_length(pts), 1e-9);
+}
+
+TEST(PrimDijkstra, AlphaOneIsShortestPathStar) {
+  Rng rng(62);
+  Design d = make_star_net(random_sinks(8, rng), {200, 200});
+  PdOptions opts;
+  opts.alpha = 1.0;
+  opts.steinerize_corners = false;
+  const SteinerTree t = build_pd_tree(d, 0, opts);
+  // alpha = 1: every sink's path length equals its Manhattan distance from
+  // the driver (shortest possible).
+  const auto dist = t.path_lengths_from_driver();
+  for (std::size_t n = 0; n < t.nodes.size(); ++n) {
+    if (static_cast<int>(n) == t.driver_node) continue;
+    const double direct = manhattan(t.nodes[static_cast<std::size_t>(t.driver_node)].pos,
+                                    t.nodes[n].pos);
+    EXPECT_NEAR(dist[n], direct, 1e-9);
+  }
+}
+
+TEST(PrimDijkstra, TradeoffMonotone) {
+  // Growing alpha must not lengthen source-sink paths, and must not shorten
+  // wirelength (the classic PD tradeoff).
+  Rng rng(63);
+  for (int trial = 0; trial < 6; ++trial) {
+    Design d = make_star_net(random_sinks(12, rng), {200, 200});
+    PdOptions a0, a5, a10;
+    a0.alpha = 0.0;
+    a5.alpha = 0.5;
+    a10.alpha = 1.0;
+    a0.steinerize_corners = a5.steinerize_corners = a10.steinerize_corners = false;
+    const SteinerTree t0 = build_pd_tree(d, 0, a0);
+    const SteinerTree t5 = build_pd_tree(d, 0, a5);
+    const SteinerTree t10 = build_pd_tree(d, 0, a10);
+    EXPECT_LE(t0.wirelength(), t5.wirelength() + 1e-9);
+    EXPECT_LE(t5.wirelength(), t10.wirelength() + 1e-9);
+    EXPECT_GE(max_sink_pathlength(t0), max_sink_pathlength(t5) - 1e-9);
+    EXPECT_GE(max_sink_pathlength(t5), max_sink_pathlength(t10) - 1e-9);
+  }
+}
+
+TEST(PrimDijkstra, SteinerizeAddsMovableCorners) {
+  Rng rng(64);
+  Design d = make_star_net(random_sinks(9, rng), {0, 0});
+  PdOptions opts;
+  opts.alpha = 0.3;
+  const SteinerTree t = build_pd_tree(d, 0, opts);
+  EXPECT_TRUE(t.is_valid_tree());
+  EXPECT_GT(t.num_steiner_nodes(), 0);
+  // Corner insertion preserves wirelength exactly (corner sits on the L).
+  PdOptions bare = opts;
+  bare.steinerize_corners = false;
+  const SteinerTree t_bare = build_pd_tree(d, 0, bare);
+  EXPECT_NEAR(t.wirelength(), t_bare.wirelength(), 1e-9);
+  // ... and path lengths.
+  EXPECT_NEAR(max_sink_pathlength(t), max_sink_pathlength(t_bare), 1e-9);
+}
+
+TEST(PrimDijkstra, SteinerizeCornersOnExistingTree) {
+  SteinerTree t;
+  t.net = 0;
+  t.nodes.push_back({{0.0, 0.0}, 0});
+  t.nodes.push_back({{10.0, 10.0}, 1});  // diagonal edge -> gets a corner
+  t.nodes.push_back({{20.0, 10.0}, 2});  // straight continuation -> no corner
+  t.edges = {{0, 1}, {1, 2}};
+  t.driver_node = 0;
+  EXPECT_EQ(steinerize_corners(t), 1);
+  EXPECT_EQ(t.nodes.size(), 4u);
+  EXPECT_EQ(t.edges.size(), 3u);
+  EXPECT_TRUE(t.is_valid_tree());
+  EXPECT_EQ(t.nodes[3].pos, (PointF{10.0, 0.0}));
+}
+
+TEST(PrimDijkstra, ForestCoversNetsAndIndexesMovables) {
+  GeneratorParams p;
+  p.num_comb_cells = 150;
+  p.num_registers = 16;
+  p.num_primary_inputs = 4;
+  p.num_primary_outputs = 4;
+  p.seed = 19;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  PdOptions opts;
+  opts.alpha = 0.3;
+  const SteinerForest f = build_pd_forest(d, opts);
+  for (const Net& n : d.nets()) {
+    if (!n.sink_pins.empty()) {
+      EXPECT_GE(f.net_to_tree[static_cast<std::size_t>(n.id)], 0);
+    }
+  }
+  for (const SteinerTree& t : f.trees) EXPECT_TRUE(t.is_valid_tree());
+  // corner steinerization gives PD forests plenty of movable points
+  EXPECT_GT(f.num_movable(), 0u);
+  EXPECT_EQ(f.num_movable(), static_cast<std::size_t>(f.num_steiner_nodes()));
+}
+
+TEST(PrimDijkstra, RejectsBadAlpha) {
+  Rng rng(65);
+  Design d = make_star_net(random_sinks(3, rng), {0, 0});
+  PdOptions opts;
+  opts.alpha = -0.1;
+  EXPECT_THROW(build_pd_tree(d, 0, opts), std::runtime_error);
+  opts.alpha = 1.5;
+  EXPECT_THROW(build_pd_tree(d, 0, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "sta/rc.hpp"
+#include "sta/report.hpp"
+#include "sta/sta.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+Design make_chain(int n, std::int64_t spacing) {
+  Design d("chain", &lib());
+  d.set_die({{0, 0}, {spacing * (n + 2), 100}});
+  const int pi = d.add_primary_input({0, 50});
+  int prev = pi;
+  for (int i = 0; i < n; ++i) {
+    const int c = d.add_cell(lib().find("INV_X1"));
+    d.cell(c).pos = {spacing * (i + 1), 50};
+    const int net = d.add_net(prev);
+    d.connect_sink(net, d.cell(c).input_pins[0]);
+    prev = d.cell(c).output_pin;
+  }
+  const int po = d.add_primary_output({spacing * (n + 1), 50});
+  const int net = d.add_net(prev);
+  d.connect_sink(net, po);
+  d.set_clock_period(1.0);
+  return d;
+}
+
+TEST(RcExtraction, TwoPinNetElmore) {
+  Design d = make_chain(1, 100);
+  const SteinerForest f = build_forest(d);
+  // net 0: PI -> inverter input, length 100 DBU
+  const int t0 = f.net_to_tree[0];
+  ASSERT_GE(t0, 0);
+  const NetTiming nt =
+      extract_net_timing(d, f.trees[static_cast<std::size_t>(t0)], nullptr, t0);
+  const double r = lib().wire_res_kohm_per_dbu() * 100.0;
+  const double cw = lib().wire_cap_pf_per_dbu() * 100.0;
+  const double cpin = lib().type(lib().find("INV_X1")).input_cap_pf;
+  EXPECT_NEAR(nt.total_cap_pf, cw + cpin, 1e-12);
+  // Elmore with the pi model: R * (C_pin + C_wire / 2)
+  EXPECT_NEAR(nt.sink_delay_ns[0], r * (cpin + cw / 2.0), 1e-12);
+  EXPECT_GT(nt.sink_ramp_ns[0], 0.0);
+}
+
+TEST(RcExtraction, DelayGrowsWithDistance) {
+  Design near = make_chain(1, 20);
+  Design far = make_chain(1, 200);
+  const SteinerForest fn = build_forest(near);
+  const SteinerForest ff = build_forest(far);
+  const NetTiming tn = extract_net_timing(near, fn.trees[0], nullptr, 0);
+  const NetTiming tf = extract_net_timing(far, ff.trees[0], nullptr, 0);
+  EXPECT_GT(tf.sink_delay_ns[0], tn.sink_delay_ns[0]);
+  EXPECT_GT(tf.total_cap_pf, tn.total_cap_pf);
+}
+
+TEST(RcExtraction, MultiSinkSharedTrunk) {
+  // Driver at origin, sinks on an L: nearer sink has smaller Elmore delay.
+  Design d("fork", &lib());
+  d.set_die({{0, 0}, {300, 300}});
+  const int drv = d.add_cell(lib().find("BUF_X1"));
+  d.cell(drv).pos = {0, 0};
+  const int pi = d.add_primary_input({0, 0});
+  const int nin = d.add_net(pi);
+  d.connect_sink(nin, d.cell(drv).input_pins[0]);
+  const int a = d.add_cell(lib().find("INV_X1"));
+  d.cell(a).pos = {50, 0};
+  const int b = d.add_cell(lib().find("INV_X1"));
+  d.cell(b).pos = {250, 0};
+  const int n = d.add_net(d.cell(drv).output_pin);
+  d.connect_sink(n, d.cell(a).input_pins[0]);
+  d.connect_sink(n, d.cell(b).input_pins[0]);
+  const SteinerForest f = build_forest(d);
+  const int t = f.net_to_tree[static_cast<std::size_t>(n)];
+  const NetTiming nt = extract_net_timing(d, f.trees[static_cast<std::size_t>(t)], nullptr, t);
+  EXPECT_LT(nt.sink_delay_ns[0], nt.sink_delay_ns[1]);
+}
+
+TEST(Sta, ChainArrivalMonotone) {
+  Design d = make_chain(6, 50);
+  const SteinerForest f = build_forest(d);
+  const StaResult r = run_sta(d, f, nullptr);
+  double prev = -1.0;
+  for (const Cell& c : d.cells()) {
+    const double a = r.arrival[static_cast<std::size_t>(c.output_pin)];
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  EXPECT_EQ(r.endpoints.size(), 1u);
+  EXPECT_GT(r.max_arrival, 0.0);
+}
+
+TEST(Sta, SlackConsistency) {
+  Design d = make_chain(4, 40);
+  d.set_clock_period(0.5);
+  const SteinerForest f = build_forest(d);
+  const StaResult r = run_sta(d, f, nullptr);
+  for (std::size_t i = 0; i < r.endpoints.size(); ++i) {
+    const double arrival = r.arrival[static_cast<std::size_t>(r.endpoints[i])];
+    EXPECT_NEAR(r.endpoint_slack[i], 0.5 - arrival, 1e-12);
+  }
+}
+
+TEST(Sta, WnsTnsViolationsCoherent) {
+  GeneratorParams p;
+  p.num_comb_cells = 200;
+  p.num_registers = 24;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = 51;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  const SteinerForest f = build_forest(d);
+  StaResult loose = run_sta(d, f, nullptr);
+  // Set the clock to make some endpoints fail.
+  d.set_clock_period(0.5 * loose.max_arrival);
+  const StaResult r = run_sta(d, f, nullptr);
+  EXPECT_LT(r.wns, 0.0);
+  EXPECT_LT(r.tns, 0.0);
+  EXPECT_GT(r.num_violations, 0);
+  EXPECT_LE(r.tns, r.wns);  // TNS aggregates all violations
+  double tns_check = 0.0;
+  double wns_check = r.endpoint_slack[0];
+  long long vios = 0;
+  for (double s : r.endpoint_slack) {
+    tns_check += std::min(0.0, s);
+    wns_check = std::min(wns_check, s);
+    vios += s < 0.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(r.tns, tns_check, 1e-9);
+  EXPECT_NEAR(r.wns, wns_check, 1e-12);
+  EXPECT_EQ(r.num_violations, vios);
+}
+
+TEST(Sta, TighterClockIsWorse) {
+  Design d = make_chain(5, 60);
+  const SteinerForest f = build_forest(d);
+  d.set_clock_period(2.0);
+  const double slack_loose = run_sta(d, f, nullptr).wns;
+  d.set_clock_period(0.2);
+  const double slack_tight = run_sta(d, f, nullptr).wns;
+  EXPECT_GT(slack_loose, slack_tight);
+}
+
+TEST(Sta, RegisterPathsUseSetupAndCk2q) {
+  Design d("regs", &lib());
+  d.set_die({{0, 0}, {200, 100}});
+  const int r1 = d.add_cell(lib().register_type());
+  d.cell(r1).pos = {10, 50};
+  const int inv = d.add_cell(lib().find("INV_X1"));
+  d.cell(inv).pos = {100, 50};
+  const int r2 = d.add_cell(lib().register_type());
+  d.cell(r2).pos = {190, 50};
+  const int n1 = d.add_net(d.cell(r1).output_pin);
+  d.connect_sink(n1, d.cell(inv).input_pins[0]);
+  const int n2 = d.add_net(d.cell(inv).output_pin);
+  d.connect_sink(n2, d.cell(r2).input_pins[0]);
+  // r1's D must be driven for validate(); use a PI.
+  const int pi = d.add_primary_input({0, 50});
+  const int n0 = d.add_net(pi);
+  d.connect_sink(n0, d.cell(r1).input_pins[0]);
+  d.set_clock_period(10.0);
+  d.validate();
+  const SteinerForest f = build_forest(d);
+  const StaResult r = run_sta(d, f, nullptr);
+  // Q arrival is the CK->Q delay: strictly positive.
+  EXPECT_GT(r.arrival[static_cast<std::size_t>(d.cell(r1).output_pin)], 0.05);
+  // r2's D slack accounts for setup.
+  const double d_arrival = r.arrival[static_cast<std::size_t>(d.cell(r2).input_pins[0])];
+  const double setup = lib().type(lib().register_type()).setup_ns;
+  EXPECT_NEAR(r.slack_of(d.cell(r2).input_pins[0]), 10.0 - setup - d_arrival, 1e-12);
+}
+
+TEST(Sta, RoutedModeDiffersFromPreroute) {
+  GeneratorParams p;
+  p.num_comb_cells = 200;
+  p.num_registers = 20;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = 52;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  const SteinerForest f = build_forest(d);
+  const StaResult pre = run_sta(d, f, nullptr);
+  const GlobalRouteResult gr = global_route(d, f);
+  const StaResult post = run_sta(d, f, &gr);
+  // Routed lengths are gcell-quantized and may detour: max arrival differs.
+  EXPECT_NE(pre.max_arrival, post.max_arrival);
+  EXPECT_GT(post.max_arrival, 0.0);
+}
+
+TEST(Report, ChainPathBacktracksToStartpoint) {
+  Design d = make_chain(5, 40);
+  d.set_clock_period(0.2);
+  const SteinerForest f = build_forest(d);
+  const StaResult r = run_sta(d, f, nullptr);
+  const auto paths = extract_critical_paths(d, f, nullptr, r, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const TimingPath& p = paths[0];
+  EXPECT_DOUBLE_EQ(p.slack_ns, r.wns);
+  ASSERT_GE(p.steps.size(), 2u);
+  // starts at the primary input, ends at the endpoint
+  EXPECT_EQ(d.pin(p.steps.front().pin).kind, PinKind::kPrimaryInput);
+  EXPECT_EQ(p.steps.back().pin, p.endpoint);
+  // arrivals monotone non-decreasing along the path; increments consistent
+  for (std::size_t i = 1; i < p.steps.size(); ++i) {
+    EXPECT_GE(p.steps[i].arrival_ns, p.steps[i - 1].arrival_ns - 1e-12);
+    EXPECT_NEAR(p.steps[i].incr_ns,
+                p.steps[i].arrival_ns - p.steps[i - 1].arrival_ns, 1e-12);
+  }
+  // chain of 5 inverters: PI + 5 x (input, output) + PO = 12 pins
+  EXPECT_EQ(p.steps.size(), 12u);
+  EXPECT_FALSE(format_path(d, p).empty());
+}
+
+TEST(Report, WorstPathsSortedBySlack) {
+  GeneratorParams gp;
+  gp.num_comb_cells = 200;
+  gp.num_registers = 24;
+  gp.num_primary_inputs = 6;
+  gp.num_primary_outputs = 6;
+  gp.seed = 55;
+  Design d = generate_design(lib(), gp);
+  place_design(d);
+  const SteinerForest f = build_forest(d);
+  StaResult loose = run_sta(d, f, nullptr);
+  d.set_clock_period(0.55 * loose.max_arrival);
+  const StaResult r = run_sta(d, f, nullptr);
+  const auto paths = extract_critical_paths(d, f, nullptr, r, 5);
+  ASSERT_EQ(paths.size(), 5u);
+  EXPECT_DOUBLE_EQ(paths[0].slack_ns, r.wns);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].slack_ns, paths[i].slack_ns);
+  }
+  // every path's critical arc reconstruction must reproduce the endpoint
+  // arrival from the startpoint arrival plus increments
+  for (const TimingPath& p : paths) {
+    double acc = p.steps.front().arrival_ns;
+    for (std::size_t i = 1; i < p.steps.size(); ++i) acc += p.steps[i].incr_ns;
+    EXPECT_NEAR(acc, p.steps.back().arrival_ns, 1e-9);
+  }
+}
+
+TEST(Sta, SlackOfThrowsForNonEndpoint) {
+  Design d = make_chain(2, 30);
+  const SteinerForest f = build_forest(d);
+  const StaResult r = run_sta(d, f, nullptr);
+  EXPECT_THROW(r.slack_of(d.cells()[0].output_pin), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "droute/track_assign.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+struct Prep {
+  Design design;
+  SteinerForest forest;
+  GlobalRouteResult gr;
+};
+
+Prep prep(std::uint64_t seed) {
+  GeneratorParams p;
+  p.num_comb_cells = 250;
+  p.num_registers = 25;
+  p.num_primary_inputs = 6;
+  p.num_primary_outputs = 6;
+  p.seed = seed;
+  Prep out{generate_design(lib(), p), {}, {}};
+  place_design(out.design);
+  out.forest = build_forest(out.design);
+  out.gr = global_route(out.design, out.forest);
+  return out;
+}
+
+TEST(TrackAssign, RunsCoverAllPathSteps) {
+  const Prep p = prep(101);
+  const TrackAssignResult ta = assign_tracks(p.gr);
+  long long run_steps = 0;
+  for (const WireRun& r : ta.runs) run_steps += r.hi - r.lo;
+  long long path_steps = 0;
+  for (const RoutedConnection& c : p.gr.connections) {
+    path_steps += static_cast<long long>(c.path.size()) - 1;
+  }
+  EXPECT_EQ(run_steps, path_steps) << "run decomposition must cover every step exactly once";
+}
+
+TEST(TrackAssign, NoOverlapOnSameTrack) {
+  const Prep p = prep(102);
+  const TrackAssignResult ta = assign_tracks(p.gr);
+  // Within one row, runs sharing a track must not overlap.
+  for (std::size_t i = 0; i < ta.runs.size(); ++i) {
+    for (std::size_t j = i + 1; j < ta.runs.size(); ++j) {
+      const WireRun& a = ta.runs[i];
+      const WireRun& b = ta.runs[j];
+      if (a.horizontal != b.horizontal || a.row != b.row) continue;
+      if (a.track < 0 || b.track < 0 || a.track != b.track) continue;
+      const bool overlap = a.lo <= b.hi && b.lo <= a.hi;
+      EXPECT_FALSE(overlap) << "row " << a.row << " track " << a.track;
+    }
+  }
+}
+
+TEST(TrackAssign, MoreTracksFewerViolations) {
+  const Prep p = prep(103);
+  const TrackAssignResult few = assign_tracks(p.gr, 2);
+  const TrackAssignResult many = assign_tracks(p.gr, 64);
+  EXPECT_GE(few.num_violations, many.num_violations);
+  EXPECT_EQ(many.num_violations, 0) << "64 tracks must be enough for a 250-cell design";
+}
+
+TEST(TrackAssign, ViolationCountsMatchPerRowTallies) {
+  const Prep p = prep(104);
+  const TrackAssignResult ta = assign_tracks(p.gr, 3);
+  long long tallied = 0;
+  for (int v : ta.h_row_violations) tallied += v;
+  for (int v : ta.v_col_violations) tallied += v;
+  EXPECT_EQ(ta.num_violations, tallied);
+  long long unassigned = 0;
+  for (const WireRun& r : ta.runs) unassigned += r.track < 0 ? 1 : 0;
+  EXPECT_EQ(ta.num_violations, unassigned);
+}
+
+TEST(TrackAssign, TracksWithinRange) {
+  const Prep p = prep(105);
+  const TrackAssignResult ta = assign_tracks(p.gr, 5);
+  for (const WireRun& r : ta.runs) {
+    EXPECT_LT(r.track, 5);
+    EXPECT_GE(r.track, -1);
+  }
+}
+
+TEST(TrackAssign, EmptyRouteHandled) {
+  GlobalRouteResult empty;
+  const TrackAssignResult ta = assign_tracks(empty, 4);
+  EXPECT_TRUE(ta.runs.empty());
+  EXPECT_EQ(ta.num_violations, 0);
+}
+
+}  // namespace
+}  // namespace tsteiner

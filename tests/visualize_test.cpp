@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "flow/visualize.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "steiner/rsmt.hpp"
+#include "util/svg.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  SvgWriter svg(0, 0, 100, 50);
+  svg.rect(1, 2, 10, 5, "#ffffff");
+  svg.line(0, 0, 100, 50, "black", 1.0);
+  svg.circle(50, 25, 3, "red");
+  svg.text(5, 5, "hello");
+  const std::string doc = svg.finish();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<rect"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("hello"), std::string::npos);
+}
+
+TEST(Svg, YAxisFlipped) {
+  SvgWriter svg(0, 0, 10, 10);
+  svg.circle(0, 0, 1, "red");  // chip origin -> bottom-left -> svg y = 10
+  const std::string doc = svg.finish();
+  EXPECT_NE(doc.find("cy=\"10.000\""), std::string::npos);
+}
+
+TEST(Svg, HeatColorEndpoints) {
+  EXPECT_EQ(SvgWriter::heat_color(0.0), "hsl(120,85%,50%)");  // green
+  EXPECT_EQ(SvgWriter::heat_color(1.0), "hsl(0,85%,50%)");    // red
+  EXPECT_EQ(SvgWriter::heat_color(5.0), "hsl(0,85%,50%)");    // clamped
+}
+
+TEST(Visualize, WritesSvgWithAllLayers) {
+  GeneratorParams p;
+  p.num_comb_cells = 120;
+  p.num_registers = 12;
+  p.num_primary_inputs = 4;
+  p.num_primary_outputs = 4;
+  p.seed = 91;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  const SteinerForest f = build_forest(d);
+  const GlobalRouteResult gr = global_route(d, f);
+
+  // A "moved" reference: shift one Steiner point far away.
+  SteinerForest ref = f;
+  for (SteinerTree& t : ref.trees) {
+    for (SteinerNode& n : t.nodes) {
+      if (n.is_steiner()) {
+        n.pos.x += 20.0;
+        break;
+      }
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "/viz_test.svg";
+  ASSERT_TRUE(render_design_svg(d, f, &gr.grid, &ref, path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  // cells + steiner nodes drawn
+  EXPECT_NE(doc.find("#4472c4"), std::string::npos);
+  EXPECT_NE(doc.find("#ed7d31"), std::string::npos);
+  // the moved point is highlighted
+  EXPECT_NE(doc.find("#e03030"), std::string::npos);
+}
+
+TEST(Visualize, OptionsDisableLayers) {
+  GeneratorParams p;
+  p.num_comb_cells = 80;
+  p.num_registers = 10;
+  p.num_primary_inputs = 4;
+  p.num_primary_outputs = 4;
+  p.seed = 92;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  const SteinerForest f = build_forest(d);
+  VisualizeOptions opts;
+  opts.draw_cells = false;
+  opts.draw_trees = false;
+  opts.draw_congestion = false;
+  const std::string path = ::testing::TempDir() + "/viz_empty.svg";
+  ASSERT_TRUE(render_design_svg(d, f, nullptr, nullptr, path, opts));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str().find("#4472c4"), std::string::npos);
+  EXPECT_EQ(ss.str().find("#ed7d31"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsteiner

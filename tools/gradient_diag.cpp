@@ -1,0 +1,138 @@
+// Diagnostic: does the learned gradient direction beat random directions in
+// TRUE sign-off timing, and at what move scale? Not part of the shipped
+// benches; used to calibrate RefineOptions defaults.
+#include <cstdio>
+
+#include "flow/experiment.hpp"
+#include "flow/flow.hpp"
+#include "tsteiner/gradient.hpp"
+#include "tsteiner/random_move.hpp"
+#include "tsteiner/refine.hpp"
+
+using namespace tsteiner;
+
+int main(int argc, char** argv) {
+  const int ncells = argc > 1 ? std::atoi(argv[1]) : 500;
+  const CellLibrary lib = CellLibrary::make_default();
+  GeneratorParams params;
+  params.num_comb_cells = ncells;
+  params.num_registers = ncells / 8;
+  params.num_primary_inputs = 12;
+  params.num_primary_outputs = 12;
+  params.seed = 7;
+  Design design = generate_design(lib, params);
+  place_design(design);
+  Flow flow(&design);
+  const FlowResult base = flow.run_signoff(flow.initial_forest());
+  std::printf("baseline: WNS %.3f TNS %.1f\n", base.metrics.wns_ns, base.metrics.tns_ns);
+
+  auto cache = build_graph_cache(design, flow.initial_forest());
+  std::vector<TrainingSample> samples;
+  Rng rng(11);
+  auto label = [&](const SteinerForest& forest) {
+    TrainingSample s;
+    s.cache = cache;
+    s.xs = forest.gather_x();
+    s.ys = forest.gather_y();
+    const FlowResult fr = flow.run_signoff(forest);
+    s.arrival_label = fr.sta.arrival;
+    s.endpoint_pins = fr.sta.endpoints;
+    return s;
+  };
+  samples.push_back(label(flow.initial_forest()));
+  for (double dist : {16.0, 4.0, 8.0, 16.0, 4.0, 8.0}) {
+    Rng child = rng.fork();
+    samples.push_back(label(random_disturb(flow.initial_forest(), design.die(), dist, child)));
+  }
+  GnnConfig gnn;
+  TimingGnn model(gnn, lib.num_types());
+  TrainOptions topt;
+  topt.epochs = 80;
+  topt.lr = 2e-3;
+  Trainer trainer(&model, topt);
+  trainer.fit(samples);
+  printf("R2 base: %.4f\n", trainer.evaluate(samples[0]).r2_all);
+
+  PenaltyWeights w;
+  const auto xs0 = flow.initial_forest().gather_x();
+  const auto ys0 = flow.initial_forest().gather_y();
+  const GradientResult g = compute_timing_gradients(model, *cache, design, xs0, ys0, w);
+  printf("model init eval: WNS %.3f TNS %.1f\n", g.eval_wns_ns, g.eval_tns_ns);
+
+  // Normalized descent direction: sign(g) (SO-like step shape), moving only
+  // coordinates whose |g| is above the q-th percentile over all coords.
+  std::vector<double> mags;
+  for (std::size_t i = 0; i < xs0.size(); ++i) {
+    mags.push_back(std::abs(g.grad_x[i]));
+    mags.push_back(std::abs(g.grad_y[i]));
+  }
+  auto move_along = [&](double step, double quantile) {
+    std::vector<double> sorted = mags;
+    std::sort(sorted.begin(), sorted.end());
+    const double thr =
+        sorted[static_cast<std::size_t>(quantile * static_cast<double>(sorted.size() - 1))];
+    SteinerForest f = flow.initial_forest();
+    auto xs = xs0;
+    auto ys = ys0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (std::abs(g.grad_x[i]) >= thr) {
+        xs[i] -= step * (g.grad_x[i] > 0 ? 1.0 : -1.0);
+      }
+      if (std::abs(g.grad_y[i]) >= thr) {
+        ys[i] -= step * (g.grad_y[i] > 0 ? 1.0 : -1.0);
+      }
+    }
+    f.scatter_xy(xs, ys);
+    f.clamp_steiner_points(design.die());
+    f.round_steiner_points();
+    return f;
+  };
+
+  std::printf("\n%-6s %-6s %-12s %-12s %-14s %-14s\n", "step", "quant", "trueWNS", "trueTNS",
+              "evalWNS", "evalTNS");
+  for (double quantile : {0.0, 0.9, 0.99}) {
+    for (double step : {4.0, 16.0}) {
+      SteinerForest f = move_along(step, quantile);
+      const FlowResult fr = flow.run_signoff(f);
+      const GradientResult ev =
+          evaluate_timing(model, *cache, design, f.gather_x(), f.gather_y(), w);
+      std::printf("%-6.0f %-6.2f %-12.3f %-12.1f %-14.3f %-14.1f\n", step, quantile,
+                  fr.metrics.wns_ns, fr.metrics.tns_ns, ev.eval_wns_ns, ev.eval_tns_ns);
+    }
+  }
+  // Full Algorithm 1 loop with the production options.
+  {
+    RefineOptions ropts;
+    ropts.max_iterations = 30;
+    const RefineResult rr = refine_steiner_points(design, flow.initial_forest(), model, ropts);
+    const FlowResult fr = flow.run_signoff(rr.forest);
+    std::printf("\nrefine: %d iters, theta %.4f, model WNS %.3f -> %.3f, TNS %.1f -> %.1f\n",
+                rr.iterations, rr.theta, rr.init_wns, rr.best_wns, rr.init_tns, rr.best_tns);
+    double moved = 0.0; {
+      const auto rx = rr.forest.gather_x(); const auto ry = rr.forest.gather_y();
+      for (std::size_t i = 0; i < rx.size(); ++i) moved += std::abs(rx[i]-xs0[i]) + std::abs(ry[i]-ys0[i]);
+      moved /= std::max<std::size_t>(1, rx.size());
+    }
+    std::printf("refine avg |move| per point: %.2f DBU\n", moved);
+    std::printf("refine true signoff: WNS %.3f TNS %.1f (baseline %.3f / %.1f)\n",
+                fr.metrics.wns_ns, fr.metrics.tns_ns, base.metrics.wns_ns,
+                base.metrics.tns_ns);
+  }
+
+  // Random directions at the same scales, 5 trials each.
+  Rng rr(99);
+  for (double step : {8.0, 16.0, 32.0}) {
+    double wns_sum = 0, tns_sum = 0, wns_best = -1e30;
+    for (int k = 0; k < 5; ++k) {
+      Rng child = rr.fork();
+      const SteinerForest f = random_disturb(flow.initial_forest(), design.die(), step, child);
+      const FlowResult fr = flow.run_signoff(f);
+      wns_sum += fr.metrics.wns_ns;
+      tns_sum += fr.metrics.tns_ns;
+      wns_best = std::max(wns_best, fr.metrics.wns_ns);
+    }
+    std::printf("rand %-5.0f %-12.3f %-12.1f (mean of 5, best WNS %.3f)\n", step, wns_sum / 5,
+                tns_sum / 5, wns_best);
+  }
+  return 0;
+}

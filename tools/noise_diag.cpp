@@ -1,0 +1,39 @@
+// Localize what dominates the sign-off response to Steiner disturbance:
+// smooth physics (pre-route STA) vs routing quantization/congestion.
+#include <cstdio>
+#include "flow/flow.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "tsteiner/random_move.hpp"
+
+using namespace tsteiner;
+
+int main() {
+  const CellLibrary lib = CellLibrary::make_default();
+  GeneratorParams params;
+  params.num_comb_cells = 500;
+  params.num_registers = 60;
+  params.num_primary_inputs = 12;
+  params.num_primary_outputs = 12;
+  params.seed = 7;
+  Design design = generate_design(lib, params);
+  place_design(design);
+  Flow flow(&design);
+  const StaResult pre0 = flow.run_preroute_sta(flow.initial_forest());
+  const FlowResult so0 = flow.run_signoff(flow.initial_forest());
+  std::printf("base: preroute WNS %.3f TNS %.1f | signoff WNS %.3f TNS %.1f (overflow %.0f)\n",
+              pre0.wns, pre0.tns, so0.metrics.wns_ns, so0.metrics.tns_ns, so0.gr.total_overflow);
+  Rng rng(5);
+  for (double dist : {4.0, 8.0, 16.0}) {
+    for (int k = 0; k < 3; ++k) {
+      Rng child = rng.fork();
+      const SteinerForest f = random_disturb(flow.initial_forest(), design.die(), dist, child);
+      const StaResult pre = flow.run_preroute_sta(f);
+      const FlowResult so = flow.run_signoff(f);
+      std::printf("dist %4.0f: preroute WNS %.3f TNS %.1f | signoff WNS %.3f TNS %.1f (ovf %.0f, WL %.0f vs %.0f)\n",
+                  dist, pre.wns, pre.tns, so.metrics.wns_ns, so.metrics.tns_ns,
+                  so.gr.total_overflow, so.gr.wirelength_dbu, so0.gr.wirelength_dbu);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Oracle headroom probe: greedy TRUE-signoff coordinate search over the
+// Steiner points of the most critical nets. Bounds what any refinement
+// method could achieve on this substrate.
+#include <cstdio>
+#include <algorithm>
+#include "flow/flow.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+
+using namespace tsteiner;
+
+int main(int argc, char** argv) {
+  const int ncells = argc > 1 ? std::atoi(argv[1]) : 1500;
+  const CellLibrary lib = CellLibrary::make_default();
+  GeneratorParams params;
+  params.num_comb_cells = ncells;
+  params.num_registers = ncells / 8;
+  params.num_primary_inputs = 16;
+  params.num_primary_outputs = 16;
+  params.seed = 7;
+  Design design = generate_design(lib, params);
+  place_design(design);
+  Flow flow(&design);
+  SteinerForest forest = flow.initial_forest();
+  const FlowResult base = flow.run_signoff(forest);
+  std::printf("cells %d, die %lldx%lld, baseline WNS %.3f TNS %.1f ovf %.0f\n", ncells,
+              static_cast<long long>(design.die().width()),
+              static_cast<long long>(design.die().height()), base.metrics.wns_ns,
+              base.metrics.tns_ns, base.gr.total_overflow);
+
+  // Rank movable points by criticality: endpoint slack of the worst sink
+  // of their net (from baseline STA).
+  forest.build_movable_index();
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t m = 0; m < forest.movable().size(); ++m) {
+    const MovableRef& r = forest.movable()[m];
+    const SteinerTree& t = forest.trees[static_cast<std::size_t>(r.tree)];
+    // criticality = max arrival over the net's sinks
+    double worst = 0.0;
+    for (int sp : design.net(t.net).sink_pins) {
+      worst = std::max(worst, base.sta.arrival[static_cast<std::size_t>(sp)]);
+    }
+    ranked.push_back({-worst, m});
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  double cur_wns = base.metrics.wns_ns;
+  double cur_tns = base.metrics.tns_ns;
+  int accepted = 0, tried = 0;
+  const int top = std::min<std::size_t>(30, ranked.size());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int k = 0; k < top; ++k) {
+      const std::size_t m = ranked[static_cast<std::size_t>(k)].second;
+      const MovableRef& r = forest.movable()[m];
+      SteinerNode& node =
+          forest.trees[static_cast<std::size_t>(r.tree)].nodes[static_cast<std::size_t>(r.node)];
+      const PointF orig = node.pos;
+      PointF best_pos = orig;
+      double best_wns = cur_wns, best_tns = cur_tns;
+      for (const double dx : {-16.0, -8.0, 0.0, 8.0, 16.0}) {
+        for (const double dy : {-16.0, -8.0, 0.0, 8.0, 16.0}) {
+          if (dx == 0 && dy == 0) continue;
+          node.pos = clamp_into({orig.x + dx, orig.y + dy}, design.die());
+          const FlowResult fr = flow.run_signoff(forest);
+          ++tried;
+          if (fr.metrics.wns_ns > best_wns + 1e-9) {
+            best_wns = fr.metrics.wns_ns;
+            best_tns = fr.metrics.tns_ns;
+            best_pos = node.pos;
+          }
+        }
+      }
+      node.pos = best_pos;
+      if (!(best_pos == orig)) {
+        ++accepted;
+        cur_wns = best_wns;
+        cur_tns = best_tns;
+      }
+    }
+    std::printf("pass %d: WNS %.3f (%.1f%%), TNS %.1f (%.1f%%), %d/%d moves accepted\n",
+                pass, cur_wns, 100.0 * (base.metrics.wns_ns - cur_wns) / base.metrics.wns_ns,
+                cur_tns, 100.0 * (base.metrics.tns_ns - cur_tns) / base.metrics.tns_ns,
+                accepted, tried);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Per-design transfer diagnostic: model-claimed refinement improvement vs
+// true sign-off improvement. Uses the suite model cache when present.
+#include <cstdio>
+#include "flow/experiment.hpp"
+#include "tsteiner/refine.hpp"
+
+using namespace tsteiner;
+
+int main() {
+  SuiteOptions opts;
+  opts.scale = env_scale(0.12);
+  opts.perturb_per_design = 3;
+  opts.train.epochs = env_epochs(40);
+  opts.train.lr = 1e-3;
+  TrainedSuite suite = build_and_train_suite(opts);
+  std::printf("%-14s %10s %10s %10s | %10s %10s %10s %10s\n", "design", "mWNS0", "mWNSb",
+              "mGain%", "tWNS0", "tWNS1", "tGain%", "movable");
+  for (PreparedDesign& pd : suite.designs) {
+    const FlowResult base = pd.flow->run_signoff(pd.flow->initial_forest());
+    RefineOptions ropts;
+    ropts.gcell_size = pd.flow->options().router.gcell_size;
+    ropts.max_iterations = 60;
+    const RefineResult rr =
+        refine_steiner_points(*pd.design, pd.flow->initial_forest(), *suite.model, ropts);
+    const FlowResult opt = pd.flow->run_signoff(rr.forest);
+    const double mgain = rr.init_wns < 0 ? 100.0 * (rr.init_wns - rr.best_wns) / rr.init_wns : 0.0;
+    const double tgain = base.metrics.wns_ns < 0
+                             ? 100.0 * (base.metrics.wns_ns - opt.metrics.wns_ns) / base.metrics.wns_ns
+                             : 0.0;
+    std::printf("%-14s %10.3f %10.3f %9.2f%% | %10.3f %10.3f %9.2f%% %10zu\n",
+                pd.spec.name.c_str(), rr.init_wns, rr.best_wns, mgain, base.metrics.wns_ns,
+                opt.metrics.wns_ns, tgain, pd.flow->initial_forest().num_movable());
+  }
+  return 0;
+}
