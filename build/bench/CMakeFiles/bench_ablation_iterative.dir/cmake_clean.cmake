@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iterative.dir/bench_ablation_iterative.cpp.o"
+  "CMakeFiles/bench_ablation_iterative.dir/bench_ablation_iterative.cpp.o.d"
+  "bench_ablation_iterative"
+  "bench_ablation_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

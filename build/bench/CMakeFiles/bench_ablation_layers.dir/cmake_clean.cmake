@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_layers.dir/bench_ablation_layers.cpp.o"
+  "CMakeFiles/bench_ablation_layers.dir/bench_ablation_layers.cpp.o.d"
+  "bench_ablation_layers"
+  "bench_ablation_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_random_disturbance.dir/bench_fig2_random_disturbance.cpp.o"
+  "CMakeFiles/bench_fig2_random_disturbance.dir/bench_fig2_random_disturbance.cpp.o.d"
+  "bench_fig2_random_disturbance"
+  "bench_fig2_random_disturbance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_random_disturbance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

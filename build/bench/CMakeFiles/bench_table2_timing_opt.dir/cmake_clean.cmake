@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_timing_opt.dir/bench_table2_timing_opt.cpp.o"
+  "CMakeFiles/bench_table2_timing_opt.dir/bench_table2_timing_opt.cpp.o.d"
+  "bench_table2_timing_opt"
+  "bench_table2_timing_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_timing_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signoff_analysis.dir/signoff_analysis.cpp.o"
+  "CMakeFiles/signoff_analysis.dir/signoff_analysis.cpp.o.d"
+  "signoff_analysis"
+  "signoff_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signoff_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("place")
+subdirs("steiner")
+subdirs("route")
+subdirs("droute")
+subdirs("sta")
+subdirs("autodiff")
+subdirs("gnn")
+subdirs("opt")
+subdirs("tsteiner")
+subdirs("flow")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_autodiff.dir/tape.cpp.o"
+  "CMakeFiles/tsteiner_autodiff.dir/tape.cpp.o.d"
+  "libtsteiner_autodiff.a"
+  "libtsteiner_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_droute.dir/detailed_route.cpp.o"
+  "CMakeFiles/tsteiner_droute.dir/detailed_route.cpp.o.d"
+  "CMakeFiles/tsteiner_droute.dir/track_assign.cpp.o"
+  "CMakeFiles/tsteiner_droute.dir/track_assign.cpp.o.d"
+  "libtsteiner_droute.a"
+  "libtsteiner_droute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_droute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_flow.dir/experiment.cpp.o"
+  "CMakeFiles/tsteiner_flow.dir/experiment.cpp.o.d"
+  "CMakeFiles/tsteiner_flow.dir/flow.cpp.o"
+  "CMakeFiles/tsteiner_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/tsteiner_flow.dir/iterative.cpp.o"
+  "CMakeFiles/tsteiner_flow.dir/iterative.cpp.o.d"
+  "CMakeFiles/tsteiner_flow.dir/visualize.cpp.o"
+  "CMakeFiles/tsteiner_flow.dir/visualize.cpp.o.d"
+  "libtsteiner_flow.a"
+  "libtsteiner_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

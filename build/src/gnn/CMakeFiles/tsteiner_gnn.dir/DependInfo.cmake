@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/graph_cache.cpp" "src/gnn/CMakeFiles/tsteiner_gnn.dir/graph_cache.cpp.o" "gcc" "src/gnn/CMakeFiles/tsteiner_gnn.dir/graph_cache.cpp.o.d"
+  "/root/repo/src/gnn/model.cpp" "src/gnn/CMakeFiles/tsteiner_gnn.dir/model.cpp.o" "gcc" "src/gnn/CMakeFiles/tsteiner_gnn.dir/model.cpp.o.d"
+  "/root/repo/src/gnn/serialize.cpp" "src/gnn/CMakeFiles/tsteiner_gnn.dir/serialize.cpp.o" "gcc" "src/gnn/CMakeFiles/tsteiner_gnn.dir/serialize.cpp.o.d"
+  "/root/repo/src/gnn/trainer.cpp" "src/gnn/CMakeFiles/tsteiner_gnn.dir/trainer.cpp.o" "gcc" "src/gnn/CMakeFiles/tsteiner_gnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autodiff/CMakeFiles/tsteiner_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/tsteiner_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tsteiner_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsteiner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

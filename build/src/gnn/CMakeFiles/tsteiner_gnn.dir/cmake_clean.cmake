@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_gnn.dir/graph_cache.cpp.o"
+  "CMakeFiles/tsteiner_gnn.dir/graph_cache.cpp.o.d"
+  "CMakeFiles/tsteiner_gnn.dir/model.cpp.o"
+  "CMakeFiles/tsteiner_gnn.dir/model.cpp.o.d"
+  "CMakeFiles/tsteiner_gnn.dir/serialize.cpp.o"
+  "CMakeFiles/tsteiner_gnn.dir/serialize.cpp.o.d"
+  "CMakeFiles/tsteiner_gnn.dir/trainer.cpp.o"
+  "CMakeFiles/tsteiner_gnn.dir/trainer.cpp.o.d"
+  "libtsteiner_gnn.a"
+  "libtsteiner_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

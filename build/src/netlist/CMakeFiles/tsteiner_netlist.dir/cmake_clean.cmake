@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_netlist.dir/design_generator.cpp.o"
+  "CMakeFiles/tsteiner_netlist.dir/design_generator.cpp.o.d"
+  "CMakeFiles/tsteiner_netlist.dir/design_io.cpp.o"
+  "CMakeFiles/tsteiner_netlist.dir/design_io.cpp.o.d"
+  "CMakeFiles/tsteiner_netlist.dir/liberty.cpp.o"
+  "CMakeFiles/tsteiner_netlist.dir/liberty.cpp.o.d"
+  "CMakeFiles/tsteiner_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/tsteiner_netlist.dir/netlist.cpp.o.d"
+  "libtsteiner_netlist.a"
+  "libtsteiner_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

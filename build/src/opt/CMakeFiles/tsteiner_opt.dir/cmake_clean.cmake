@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_opt.dir/buffering.cpp.o"
+  "CMakeFiles/tsteiner_opt.dir/buffering.cpp.o.d"
+  "libtsteiner_opt.a"
+  "libtsteiner_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_place.dir/placer.cpp.o"
+  "CMakeFiles/tsteiner_place.dir/placer.cpp.o.d"
+  "libtsteiner_place.a"
+  "libtsteiner_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

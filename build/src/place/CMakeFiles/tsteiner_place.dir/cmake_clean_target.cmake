@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsteiner_place.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/global_router.cpp" "src/route/CMakeFiles/tsteiner_route.dir/global_router.cpp.o" "gcc" "src/route/CMakeFiles/tsteiner_route.dir/global_router.cpp.o.d"
+  "/root/repo/src/route/grid.cpp" "src/route/CMakeFiles/tsteiner_route.dir/grid.cpp.o" "gcc" "src/route/CMakeFiles/tsteiner_route.dir/grid.cpp.o.d"
+  "/root/repo/src/route/layer_assign.cpp" "src/route/CMakeFiles/tsteiner_route.dir/layer_assign.cpp.o" "gcc" "src/route/CMakeFiles/tsteiner_route.dir/layer_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/steiner/CMakeFiles/tsteiner_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tsteiner_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsteiner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

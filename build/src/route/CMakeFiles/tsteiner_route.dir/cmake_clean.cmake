@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_route.dir/global_router.cpp.o"
+  "CMakeFiles/tsteiner_route.dir/global_router.cpp.o.d"
+  "CMakeFiles/tsteiner_route.dir/grid.cpp.o"
+  "CMakeFiles/tsteiner_route.dir/grid.cpp.o.d"
+  "CMakeFiles/tsteiner_route.dir/layer_assign.cpp.o"
+  "CMakeFiles/tsteiner_route.dir/layer_assign.cpp.o.d"
+  "libtsteiner_route.a"
+  "libtsteiner_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/incremental.cpp" "src/sta/CMakeFiles/tsteiner_sta.dir/incremental.cpp.o" "gcc" "src/sta/CMakeFiles/tsteiner_sta.dir/incremental.cpp.o.d"
+  "/root/repo/src/sta/rc.cpp" "src/sta/CMakeFiles/tsteiner_sta.dir/rc.cpp.o" "gcc" "src/sta/CMakeFiles/tsteiner_sta.dir/rc.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/sta/CMakeFiles/tsteiner_sta.dir/report.cpp.o" "gcc" "src/sta/CMakeFiles/tsteiner_sta.dir/report.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/tsteiner_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/tsteiner_sta.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/tsteiner_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/tsteiner_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tsteiner_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsteiner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_sta.dir/incremental.cpp.o"
+  "CMakeFiles/tsteiner_sta.dir/incremental.cpp.o.d"
+  "CMakeFiles/tsteiner_sta.dir/rc.cpp.o"
+  "CMakeFiles/tsteiner_sta.dir/rc.cpp.o.d"
+  "CMakeFiles/tsteiner_sta.dir/report.cpp.o"
+  "CMakeFiles/tsteiner_sta.dir/report.cpp.o.d"
+  "CMakeFiles/tsteiner_sta.dir/sta.cpp.o"
+  "CMakeFiles/tsteiner_sta.dir/sta.cpp.o.d"
+  "libtsteiner_sta.a"
+  "libtsteiner_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

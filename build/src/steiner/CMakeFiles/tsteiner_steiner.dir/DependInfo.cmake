@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/edge_shift.cpp" "src/steiner/CMakeFiles/tsteiner_steiner.dir/edge_shift.cpp.o" "gcc" "src/steiner/CMakeFiles/tsteiner_steiner.dir/edge_shift.cpp.o.d"
+  "/root/repo/src/steiner/forest_io.cpp" "src/steiner/CMakeFiles/tsteiner_steiner.dir/forest_io.cpp.o" "gcc" "src/steiner/CMakeFiles/tsteiner_steiner.dir/forest_io.cpp.o.d"
+  "/root/repo/src/steiner/prim_dijkstra.cpp" "src/steiner/CMakeFiles/tsteiner_steiner.dir/prim_dijkstra.cpp.o" "gcc" "src/steiner/CMakeFiles/tsteiner_steiner.dir/prim_dijkstra.cpp.o.d"
+  "/root/repo/src/steiner/rsmt.cpp" "src/steiner/CMakeFiles/tsteiner_steiner.dir/rsmt.cpp.o" "gcc" "src/steiner/CMakeFiles/tsteiner_steiner.dir/rsmt.cpp.o.d"
+  "/root/repo/src/steiner/steiner_tree.cpp" "src/steiner/CMakeFiles/tsteiner_steiner.dir/steiner_tree.cpp.o" "gcc" "src/steiner/CMakeFiles/tsteiner_steiner.dir/steiner_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tsteiner_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsteiner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

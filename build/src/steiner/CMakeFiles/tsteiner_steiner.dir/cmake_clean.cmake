@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_steiner.dir/edge_shift.cpp.o"
+  "CMakeFiles/tsteiner_steiner.dir/edge_shift.cpp.o.d"
+  "CMakeFiles/tsteiner_steiner.dir/forest_io.cpp.o"
+  "CMakeFiles/tsteiner_steiner.dir/forest_io.cpp.o.d"
+  "CMakeFiles/tsteiner_steiner.dir/prim_dijkstra.cpp.o"
+  "CMakeFiles/tsteiner_steiner.dir/prim_dijkstra.cpp.o.d"
+  "CMakeFiles/tsteiner_steiner.dir/rsmt.cpp.o"
+  "CMakeFiles/tsteiner_steiner.dir/rsmt.cpp.o.d"
+  "CMakeFiles/tsteiner_steiner.dir/steiner_tree.cpp.o"
+  "CMakeFiles/tsteiner_steiner.dir/steiner_tree.cpp.o.d"
+  "libtsteiner_steiner.a"
+  "libtsteiner_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsteiner/gradient.cpp" "src/tsteiner/CMakeFiles/tsteiner_core.dir/gradient.cpp.o" "gcc" "src/tsteiner/CMakeFiles/tsteiner_core.dir/gradient.cpp.o.d"
+  "/root/repo/src/tsteiner/penalty.cpp" "src/tsteiner/CMakeFiles/tsteiner_core.dir/penalty.cpp.o" "gcc" "src/tsteiner/CMakeFiles/tsteiner_core.dir/penalty.cpp.o.d"
+  "/root/repo/src/tsteiner/random_move.cpp" "src/tsteiner/CMakeFiles/tsteiner_core.dir/random_move.cpp.o" "gcc" "src/tsteiner/CMakeFiles/tsteiner_core.dir/random_move.cpp.o.d"
+  "/root/repo/src/tsteiner/refine.cpp" "src/tsteiner/CMakeFiles/tsteiner_core.dir/refine.cpp.o" "gcc" "src/tsteiner/CMakeFiles/tsteiner_core.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/tsteiner_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/tsteiner_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/tsteiner_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tsteiner_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsteiner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_core.dir/gradient.cpp.o"
+  "CMakeFiles/tsteiner_core.dir/gradient.cpp.o.d"
+  "CMakeFiles/tsteiner_core.dir/penalty.cpp.o"
+  "CMakeFiles/tsteiner_core.dir/penalty.cpp.o.d"
+  "CMakeFiles/tsteiner_core.dir/random_move.cpp.o"
+  "CMakeFiles/tsteiner_core.dir/random_move.cpp.o.d"
+  "CMakeFiles/tsteiner_core.dir/refine.cpp.o"
+  "CMakeFiles/tsteiner_core.dir/refine.cpp.o.d"
+  "libtsteiner_core.a"
+  "libtsteiner_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_util.dir/log.cpp.o"
+  "CMakeFiles/tsteiner_util.dir/log.cpp.o.d"
+  "CMakeFiles/tsteiner_util.dir/stats.cpp.o"
+  "CMakeFiles/tsteiner_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tsteiner_util.dir/svg.cpp.o"
+  "CMakeFiles/tsteiner_util.dir/svg.cpp.o.d"
+  "CMakeFiles/tsteiner_util.dir/table.cpp.o"
+  "CMakeFiles/tsteiner_util.dir/table.cpp.o.d"
+  "libtsteiner_util.a"
+  "libtsteiner_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droute_test.dir/droute_test.cpp.o"
+  "CMakeFiles/droute_test.dir/droute_test.cpp.o.d"
+  "droute_test"
+  "droute_test.pdb"
+  "droute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

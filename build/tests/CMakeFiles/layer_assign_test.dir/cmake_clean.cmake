@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_assign_test.dir/layer_assign_test.cpp.o"
+  "CMakeFiles/layer_assign_test.dir/layer_assign_test.cpp.o.d"
+  "layer_assign_test"
+  "layer_assign_test.pdb"
+  "layer_assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

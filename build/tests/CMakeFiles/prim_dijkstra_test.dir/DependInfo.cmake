@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prim_dijkstra_test.cpp" "tests/CMakeFiles/prim_dijkstra_test.dir/prim_dijkstra_test.cpp.o" "gcc" "tests/CMakeFiles/prim_dijkstra_test.dir/prim_dijkstra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/tsteiner_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsteiner/CMakeFiles/tsteiner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/tsteiner_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/tsteiner_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tsteiner_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/droute/CMakeFiles/tsteiner_droute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tsteiner_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tsteiner_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/tsteiner_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tsteiner_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tsteiner_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsteiner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

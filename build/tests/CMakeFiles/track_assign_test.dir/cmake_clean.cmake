@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_assign_test.dir/track_assign_test.cpp.o"
+  "CMakeFiles/track_assign_test.dir/track_assign_test.cpp.o.d"
+  "track_assign_test"
+  "track_assign_test.pdb"
+  "track_assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

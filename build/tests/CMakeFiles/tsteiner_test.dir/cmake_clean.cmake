@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsteiner_test.dir/tsteiner_test.cpp.o"
+  "CMakeFiles/tsteiner_test.dir/tsteiner_test.cpp.o.d"
+  "tsteiner_test"
+  "tsteiner_test.pdb"
+  "tsteiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsteiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

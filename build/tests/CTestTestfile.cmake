@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/place_test[1]_include.cmake")
+include("/root/repo/build/tests/steiner_test[1]_include.cmake")
+include("/root/repo/build/tests/route_test[1]_include.cmake")
+include("/root/repo/build/tests/droute_test[1]_include.cmake")
+include("/root/repo/build/tests/sta_test[1]_include.cmake")
+include("/root/repo/build/tests/autodiff_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_test[1]_include.cmake")
+include("/root/repo/build/tests/tsteiner_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/prim_dijkstra_test[1]_include.cmake")
+include("/root/repo/build/tests/layer_assign_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/visualize_test[1]_include.cmake")
+include("/root/repo/build/tests/buffering_test[1]_include.cmake")
+include("/root/repo/build/tests/track_assign_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_sta_test[1]_include.cmake")
+include("/root/repo/build/tests/property2_test[1]_include.cmake")

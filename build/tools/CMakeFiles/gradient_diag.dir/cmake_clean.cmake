@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_diag.dir/gradient_diag.cpp.o"
+  "CMakeFiles/gradient_diag.dir/gradient_diag.cpp.o.d"
+  "gradient_diag"
+  "gradient_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

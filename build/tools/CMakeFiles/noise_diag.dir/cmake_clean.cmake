@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_diag.dir/noise_diag.cpp.o"
+  "CMakeFiles/noise_diag.dir/noise_diag.cpp.o.d"
+  "noise_diag"
+  "noise_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

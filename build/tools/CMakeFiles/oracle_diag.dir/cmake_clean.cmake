@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_diag.dir/oracle_diag.cpp.o"
+  "CMakeFiles/oracle_diag.dir/oracle_diag.cpp.o.d"
+  "oracle_diag"
+  "oracle_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_diag.dir/transfer_diag.cpp.o"
+  "CMakeFiles/transfer_diag.dir/transfer_diag.cpp.o.d"
+  "transfer_diag"
+  "transfer_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
