@@ -1,0 +1,116 @@
+// Thread-pool scaling: refine + sign-off on one Table-I design at pool
+// widths 1/2/4/hw. The determinism contract means every width must produce
+// bit-identical WNS/TNS and refined coordinates, so the speedup column is
+// pure runtime — no accuracy trade. Results land in BENCH_parallel.json.
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+using namespace tsteiner;
+using namespace tsteiner::bench;
+
+namespace {
+
+struct Run {
+  std::size_t threads = 0;
+  double refine_s = 0.0;
+  double signoff_s = 0.0;
+  double wns = 0.0;
+  double tns = 0.0;
+  double sta_util = 0.0;
+  double gr_util = 0.0;
+  std::vector<double> xs, ys;
+  double total() const { return refine_s + signoff_s; }
+};
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = env_scale(0.12);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  auto lib = std::make_unique<CellLibrary>(CellLibrary::make_default());
+  BenchmarkSpec spec = benchmark_suite().front();
+  std::printf("== Parallel scaling: %s at scale %.2f (hw threads: %u) ==\n\n",
+              spec.name.c_str(), scale, hw);
+
+  PreparedDesign pd = prepare_design(*lib, spec, scale);
+  // Untrained model: construction is seeded and deterministic, which is all
+  // the scaling measurement needs (inference cost is identical either way).
+  const TimingGnn model(GnnConfig{}, lib->num_types());
+  RefineOptions ropts = default_refine_options(pd);
+  ropts.max_iterations = 20;
+
+  std::set<std::size_t> widths{1, 2, 4, static_cast<std::size_t>(hw)};
+  std::vector<Run> runs;
+  for (const std::size_t w : widths) {
+    set_parallel_threads(w);
+    Run run;
+    run.threads = w;
+    WallTimer refine_timer;
+    const RefineResult refined =
+        refine_steiner_points(*pd.design, pd.flow->initial_forest(), model, ropts);
+    run.refine_s = refine_timer.seconds();
+    WallTimer signoff_timer;
+    const FlowResult fr = pd.flow->run_signoff(refined.forest);
+    run.signoff_s = signoff_timer.seconds();
+    run.wns = fr.sta.wns;
+    run.tns = fr.sta.tns;
+    run.sta_util = fr.runtime.sta.utilization();
+    run.gr_util = fr.runtime.global_route.utilization();
+    run.xs = refined.forest.gather_x();
+    run.ys = refined.forest.gather_y();
+    runs.push_back(std::move(run));
+  }
+  set_parallel_threads(0);
+
+  const Run& base = runs.front();
+  bool bit_identical = true;
+  for (const Run& r : runs) {
+    bit_identical = bit_identical &&
+                    std::memcmp(&r.wns, &base.wns, sizeof(double)) == 0 &&
+                    std::memcmp(&r.tns, &base.tns, sizeof(double)) == 0 &&
+                    bits_equal(r.xs, base.xs) && bits_equal(r.ys, base.ys);
+  }
+
+  Table t({"Threads", "Refine(s)", "Signoff(s)", "Total(s)", "Speedup", "STAutil", "GRutil"});
+  for (const Run& r : runs) {
+    t.add_row({std::to_string(r.threads), fmt(r.refine_s), fmt(r.signoff_s), fmt(r.total()),
+               fmt(base.total() / std::max(1e-9, r.total()), 2), fmt(r.sta_util, 2),
+               fmt(r.gr_util, 2)});
+  }
+  t.print();
+  std::printf("\nBit-identical across widths: %s  (WNS %.6f  TNS %.6f)\n",
+              bit_identical ? "yes" : "NO", base.wns, base.tns);
+
+  FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"design\": \"%s\",\n  \"scale\": %.4f,\n", spec.name.c_str(), scale);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n  \"bit_identical\": %s,\n", hw,
+                 bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"wns\": %.9f,\n  \"tns\": %.9f,\n  \"runs\": [\n", base.wns, base.tns);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& r = runs[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"refine_s\": %.4f, \"signoff_s\": %.4f, "
+                   "\"total_s\": %.4f, \"speedup\": %.3f, \"sta_utilization\": %.3f}%s\n",
+                   r.threads, r.refine_s, r.signoff_s, r.total(),
+                   base.total() / std::max(1e-9, r.total()), r.sta_util,
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("Wrote BENCH_parallel.json\n");
+  }
+  return bit_identical ? 0 : 1;
+}

@@ -21,6 +21,7 @@ int main() {
   // visible in the DR repair-work columns (conflict-repair effort units).
   Table t({"Benchmark", "GR", "DRwork", "TSteiner", "GR'", "DRwork'"});
   double r_gr = 0, r_drw = 0, tsteiner_total = 0, base_total_s = 0;
+  double util_gr = 0, util_sta = 0;
   int counted = 0;
   for (PreparedDesign& pd : suite.designs) {
     const FlowResult base = pd.flow->run_signoff(pd.flow->initial_forest());
@@ -40,6 +41,8 @@ int main() {
     t.add_row({pd.spec.name, fmt(base.runtime.global_route_s),
                Table::num(base_dr.repair_work), fmt(tsteiner_s),
                fmt(opt.runtime.global_route_s), Table::num(opt_dr.repair_work)});
+    util_gr += opt.runtime.global_route.utilization();
+    util_sta += opt.runtime.sta.utilization();
     if (base.runtime.global_route_s > 1e-9) {
       r_gr += ratio(opt.runtime.global_route_s, base.runtime.global_route_s);
       r_drw += ratio(static_cast<double>(opt_dr.repair_work),
@@ -54,6 +57,9 @@ int main() {
     const double n = counted;
     std::printf("\nRatio averages (TSteiner flow / baseline): GR %.3f  DR-work %.3f\n",
                 r_gr / n, r_drw / n);
+    const double n_all = static_cast<double>(suite.designs.size());
+    std::printf("Mean pool utilization (effective threads): GR %.2f  STA %.2f\n",
+                util_gr / n_all, util_sta / n_all);
     std::printf("TSteiner refinement total: %.1fs vs %.1fs of routing — the inverse of the\n"
                 "paper's profile (their DR dominates; Total 1.320, GR 1.017, DR 0.934)\n",
                 tsteiner_total, base_total_s);

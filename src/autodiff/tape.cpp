@@ -4,7 +4,36 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace tsteiner {
+
+namespace {
+
+// Parallelization policy for the dense kernels. Every loop below writes
+// disjoint slots per parallel index (rows for matmul/gather, columns for
+// scatter-style accumulation), and within each slot iterates in the same
+// order as the serial code — so results are bit-identical for any pool
+// width. Scalar whole-tensor folds (sum_all, log_sum_exp, mse) stay serial:
+// they are O(n) with a tiny constant and exact parity with the historical
+// element order matters more than their share of the runtime.
+
+/// Elements per chunk for pointwise map kernels.
+constexpr std::size_t kPointwiseGrain = 4096;
+
+/// Rows per chunk for row-parallel kernels, targeting ~8k inner ops/chunk.
+std::size_t row_grain(std::size_t work_per_row) {
+  return std::max<std::size_t>(1, 8192 / std::max<std::size_t>(1, work_per_row));
+}
+
+template <class Fn>
+void pointwise(std::size_t n, Fn&& fn) {
+  parallel_for(0, n, kPointwiseGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace
 
 Value Tape::leaf(Tensor value, bool requires_grad) {
   Node n;
@@ -47,11 +76,13 @@ Value Tape::add(Value a, Value b) {
   const Tensor& tb = value(b);
   Tensor out = ta;
   if (tb.same_shape(ta)) {
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += tb[i];
+    pointwise(out.size(), [&](std::size_t i) { out[i] += tb[i]; });
   } else if (tb.rows() == 1 && tb.cols() == ta.cols()) {
-    for (std::size_t r = 0; r < ta.rows(); ++r) {
-      for (std::size_t c = 0; c < ta.cols(); ++c) out.at(r, c) += tb.at(0, c);
-    }
+    parallel_for(0, ta.rows(), row_grain(ta.cols()), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        for (std::size_t c = 0; c < ta.cols(); ++c) out.at(r, c) += tb.at(0, c);
+      }
+    });
   } else {
     throw std::runtime_error("add: incompatible shapes");
   }
@@ -63,13 +94,16 @@ Value Tape::add(Value a, Value b) {
     t.ensure_grad(b);
     Tensor& ga = t.grad_ref(a);
     Tensor& gb = t.grad_ref(b);
-    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+    pointwise(g.size(), [&](std::size_t i) { ga[i] += g[i]; });
     if (!broadcast) {
-      for (std::size_t i = 0; i < g.size(); ++i) gb[i] += g[i];
+      pointwise(g.size(), [&](std::size_t i) { gb[i] += g[i]; });
     } else {
-      for (std::size_t r = 0; r < g.rows(); ++r) {
-        for (std::size_t c = 0; c < g.cols(); ++c) gb.at(0, c) += g.at(r, c);
-      }
+      // Column-parallel so each gb slot accumulates rows in serial order.
+      parallel_for(0, g.cols(), 1, [&](std::size_t clo, std::size_t chi) {
+        for (std::size_t c = clo; c < chi; ++c) {
+          for (std::size_t r = 0; r < g.rows(); ++r) gb.at(0, c) += g.at(r, c);
+        }
+      });
     }
   };
   return v;
@@ -80,16 +114,18 @@ Value Tape::sub(Value a, Value b) {
   const Tensor& tb = value(b);
   if (!ta.same_shape(tb)) throw std::runtime_error("sub: shape mismatch");
   Tensor out = ta;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] -= tb[i];
+  pointwise(out.size(), [&](std::size_t i) { out[i] -= tb[i]; });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     t.ensure_grad(a);
     t.ensure_grad(b);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      t.grad_ref(a)[i] += g[i];
-      t.grad_ref(b)[i] -= g[i];
-    }
+    Tensor& ga = t.grad_ref(a);
+    Tensor& gb = t.grad_ref(b);
+    pointwise(g.size(), [&](std::size_t i) {
+      ga[i] += g[i];
+      gb[i] -= g[i];
+    });
   };
   return v;
 }
@@ -99,7 +135,7 @@ Value Tape::mul(Value a, Value b) {
   const Tensor& tb = value(b);
   if (!ta.same_shape(tb)) throw std::runtime_error("mul: shape mismatch");
   Tensor out = ta;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= tb[i];
+  pointwise(out.size(), [&](std::size_t i) { out[i] *= tb[i]; });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
@@ -107,34 +143,38 @@ Value Tape::mul(Value a, Value b) {
     t.ensure_grad(b);
     const Tensor& va = t.value(a);
     const Tensor& vb = t.value(b);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      t.grad_ref(a)[i] += g[i] * vb[i];
-      t.grad_ref(b)[i] += g[i] * va[i];
-    }
+    Tensor& ga = t.grad_ref(a);
+    Tensor& gb = t.grad_ref(b);
+    pointwise(g.size(), [&](std::size_t i) {
+      ga[i] += g[i] * vb[i];
+      gb[i] += g[i] * va[i];
+    });
   };
   return v;
 }
 
 Value Tape::scale(Value a, double s) {
   Tensor out = value(a);
-  for (double& x : out.data()) x *= s;
+  pointwise(out.size(), [&](std::size_t i) { out[i] *= s; });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, s](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i] * s;
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) { ga[i] += g[i] * s; });
   };
   return v;
 }
 
 Value Tape::add_scalar(Value a, double s) {
   Tensor out = value(a);
-  for (double& x : out.data()) x += s;
+  pointwise(out.size(), [&](std::size_t i) { out[i] += s; });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i];
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) { ga[i] += g[i]; });
   };
   return v;
 }
@@ -144,13 +184,18 @@ Value Tape::matmul(Value a, Value b) {
   const Tensor& tb = value(b);
   if (ta.cols() != tb.rows()) throw std::runtime_error("matmul: inner dims differ");
   Tensor out(ta.rows(), tb.cols());
-  for (std::size_t r = 0; r < ta.rows(); ++r) {
-    for (std::size_t k = 0; k < ta.cols(); ++k) {
-      const double av = ta.at(r, k);
-      if (av == 0.0) continue;
-      for (std::size_t c = 0; c < tb.cols(); ++c) out.at(r, c) += av * tb.at(k, c);
-    }
-  }
+  parallel_for(0, ta.rows(), row_grain(ta.cols() * tb.cols()),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   for (std::size_t k = 0; k < ta.cols(); ++k) {
+                     const double av = ta.at(r, k);
+                     if (av == 0.0) continue;
+                     for (std::size_t c = 0; c < tb.cols(); ++c) {
+                       out.at(r, c) += av * tb.at(k, c);
+                     }
+                   }
+                 }
+               });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, b, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
@@ -160,79 +205,93 @@ Value Tape::matmul(Value a, Value b) {
     t.ensure_grad(b);
     Tensor& ga = t.grad_ref(a);
     Tensor& gb = t.grad_ref(b);
-    // dA = dOut * B^T
-    for (std::size_t r = 0; r < va.rows(); ++r) {
-      for (std::size_t k = 0; k < va.cols(); ++k) {
-        double s = 0.0;
-        for (std::size_t c = 0; c < vb.cols(); ++c) s += g.at(r, c) * vb.at(k, c);
-        ga.at(r, k) += s;
-      }
-    }
-    // dB = A^T * dOut
-    for (std::size_t k = 0; k < vb.rows(); ++k) {
-      for (std::size_t c = 0; c < vb.cols(); ++c) {
-        double s = 0.0;
-        for (std::size_t r = 0; r < va.rows(); ++r) s += va.at(r, k) * g.at(r, c);
-        gb.at(k, c) += s;
-      }
-    }
+    // dA = dOut * B^T, row-parallel over A's rows.
+    parallel_for(0, va.rows(), row_grain(va.cols() * vb.cols()),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t r = lo; r < hi; ++r) {
+                     for (std::size_t k = 0; k < va.cols(); ++k) {
+                       double s = 0.0;
+                       for (std::size_t c = 0; c < vb.cols(); ++c) {
+                         s += g.at(r, c) * vb.at(k, c);
+                       }
+                       ga.at(r, k) += s;
+                     }
+                   }
+                 });
+    // dB = A^T * dOut, row-parallel over B's rows.
+    parallel_for(0, vb.rows(), row_grain(va.rows() * vb.cols()),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t k = lo; k < hi; ++k) {
+                     for (std::size_t c = 0; c < vb.cols(); ++c) {
+                       double s = 0.0;
+                       for (std::size_t r = 0; r < va.rows(); ++r) {
+                         s += va.at(r, k) * g.at(r, c);
+                       }
+                       gb.at(k, c) += s;
+                     }
+                   }
+                 });
   };
   return v;
 }
 
 Value Tape::relu(Value a) {
   Tensor out = value(a);
-  for (double& x : out.data()) x = std::max(0.0, x);
+  pointwise(out.size(), [&](std::size_t i) { out[i] = std::max(0.0, out[i]); });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& va = t.value(a);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      if (va[i] > 0.0) t.grad_ref(a)[i] += g[i];
-    }
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) {
+      if (va[i] > 0.0) ga[i] += g[i];
+    });
   };
   return v;
 }
 
 Value Tape::tanh_op(Value a) {
   Tensor out = value(a);
-  for (double& x : out.data()) x = std::tanh(x);
+  pointwise(out.size(), [&](std::size_t i) { out[i] = std::tanh(out[i]); });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& vo = t.value(v);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i] * (1.0 - vo[i] * vo[i]);
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) { ga[i] += g[i] * (1.0 - vo[i] * vo[i]); });
   };
   return v;
 }
 
 Value Tape::sigmoid(Value a) {
   Tensor out = value(a);
-  for (double& x : out.data()) x = 1.0 / (1.0 + std::exp(-x));
+  pointwise(out.size(), [&](std::size_t i) { out[i] = 1.0 / (1.0 + std::exp(-out[i])); });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& vo = t.value(v);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) t.grad_ref(a)[i] += g[i] * vo[i] * (1.0 - vo[i]);
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) { ga[i] += g[i] * vo[i] * (1.0 - vo[i]); });
   };
   return v;
 }
 
 Value Tape::abs_op(Value a) {
   Tensor out = value(a);
-  for (double& x : out.data()) x = std::fabs(x);
+  pointwise(out.size(), [&](std::size_t i) { out[i] = std::fabs(out[i]); });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& va = t.value(a);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) {
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) {
       const double sgn = va[i] > 0.0 ? 1.0 : (va[i] < 0.0 ? -1.0 : 0.0);
-      t.grad_ref(a)[i] += g[i] * sgn;
-    }
+      ga[i] += g[i] * sgn;
+    });
   };
   return v;
 }
@@ -240,32 +299,36 @@ Value Tape::abs_op(Value a) {
 Value Tape::smooth_abs(Value a, double delta) {
   if (delta <= 0.0) return abs_op(a);
   Tensor out = value(a);
-  for (double& x : out.data()) x = std::sqrt(x * x + delta * delta) - delta;
+  pointwise(out.size(), [&](std::size_t i) {
+    const double x = out[i];
+    out[i] = std::sqrt(x * x + delta * delta) - delta;
+  });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, delta](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& va = t.value(a);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      t.grad_ref(a)[i] += g[i] * va[i] / std::sqrt(va[i] * va[i] + delta * delta);
-    }
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) {
+      ga[i] += g[i] * va[i] / std::sqrt(va[i] * va[i] + delta * delta);
+    });
   };
   return v;
 }
 
 Value Tape::softplus(Value a) {
   Tensor out = value(a);
-  for (double& x : out.data()) {
-    x = std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0);
-  }
+  pointwise(out.size(), [&](std::size_t i) {
+    const double x = out[i];
+    out[i] = std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0);
+  });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& va = t.value(a);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      t.grad_ref(a)[i] += g[i] / (1.0 + std::exp(-va[i]));
-    }
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) { ga[i] += g[i] / (1.0 + std::exp(-va[i])); });
   };
   return v;
 }
@@ -282,9 +345,11 @@ Value Tape::concat_cols(const std::vector<Value>& parts) {
   std::size_t off = 0;
   for (Value p : parts) {
     const Tensor& tp = value(p);
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 0; c < tp.cols(); ++c) out.at(r, off + c) = tp.at(r, c);
-    }
+    parallel_for(0, rows, row_grain(tp.cols()), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        for (std::size_t c = 0; c < tp.cols(); ++c) out.at(r, off + c) = tp.at(r, c);
+      }
+    });
     off += tp.cols();
   }
   std::vector<Value> captured = parts;
@@ -295,9 +360,11 @@ Value Tape::concat_cols(const std::vector<Value>& parts) {
     for (Value p : captured) {
       t.ensure_grad(p);
       Tensor& gp = t.grad_ref(p);
-      for (std::size_t r = 0; r < gp.rows(); ++r) {
-        for (std::size_t c = 0; c < gp.cols(); ++c) gp.at(r, c) += g.at(r, off2 + c);
-      }
+      parallel_for(0, gp.rows(), row_grain(gp.cols()), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t c = 0; c < gp.cols(); ++c) gp.at(r, c) += g.at(r, off2 + c);
+        }
+      });
       off2 += gp.cols();
     }
   };
@@ -307,19 +374,25 @@ Value Tape::concat_cols(const std::vector<Value>& parts) {
 Value Tape::gather_rows(Value a, std::vector<int> indices) {
   const Tensor& ta = value(a);
   Tensor out(indices.size(), ta.cols());
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const auto src = static_cast<std::size_t>(indices[i]);
-    for (std::size_t c = 0; c < ta.cols(); ++c) out.at(i, c) = ta.at(src, c);
-  }
+  parallel_for(0, indices.size(), row_grain(ta.cols()), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto src = static_cast<std::size_t>(indices[i]);
+      for (std::size_t c = 0; c < ta.cols(); ++c) out.at(i, c) = ta.at(src, c);
+    }
+  });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, idx = std::move(indices)](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     t.ensure_grad(a);
     Tensor& ga = t.grad_ref(a);
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const auto dst = static_cast<std::size_t>(idx[i]);
-      for (std::size_t c = 0; c < g.cols(); ++c) ga.at(dst, c) += g.at(i, c);
-    }
+    // Scatter with repeats: column-parallel, rows in serial order per column,
+    // so each destination accumulates in the same order as the serial code.
+    parallel_for(0, g.cols(), 1, [&](std::size_t clo, std::size_t chi) {
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        const auto dst = static_cast<std::size_t>(idx[i]);
+        for (std::size_t c = clo; c < chi; ++c) ga.at(dst, c) += g.at(i, c);
+      }
+    });
   };
   return v;
 }
@@ -328,19 +401,24 @@ Value Tape::scatter_add_rows(Value a, std::vector<int> indices, std::size_t out_
   const Tensor& ta = value(a);
   if (indices.size() != ta.rows()) throw std::runtime_error("scatter_add: index count");
   Tensor out(out_rows, ta.cols());
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const auto dst = static_cast<std::size_t>(indices[i]);
-    for (std::size_t c = 0; c < ta.cols(); ++c) out.at(dst, c) += ta.at(i, c);
-  }
+  parallel_for(0, ta.cols(), 1, [&](std::size_t clo, std::size_t chi) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const auto dst = static_cast<std::size_t>(indices[i]);
+      for (std::size_t c = clo; c < chi; ++c) out.at(dst, c) += ta.at(i, c);
+    }
+  });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, idx = std::move(indices)](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     t.ensure_grad(a);
     Tensor& ga = t.grad_ref(a);
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const auto src = static_cast<std::size_t>(idx[i]);
-      for (std::size_t c = 0; c < g.cols(); ++c) ga.at(i, c) += g.at(src, c);
-    }
+    // Gather semantics: row-parallel, each output row touched once.
+    parallel_for(0, idx.size(), row_grain(g.cols()), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto src = static_cast<std::size_t>(idx[i]);
+        for (std::size_t c = 0; c < g.cols(); ++c) ga.at(i, c) += g.at(src, c);
+      }
+    });
   };
   return v;
 }
@@ -350,30 +428,38 @@ Value Tape::segment_max(Value a, std::vector<int> segments, std::size_t num_segm
   const Tensor& ta = value(a);
   if (segments.size() != ta.rows()) throw std::runtime_error("segment_max: index count");
   Tensor out(num_segments, ta.cols(), empty_fill);
-  // argmax row per (segment, col) for the backward pass.
+  // argmax row per (segment, col) for the backward pass. Column-parallel:
+  // each (s, c) cell is owned by exactly one column chunk, and rows are
+  // visited in serial order, so ties resolve identically to the serial code.
   std::vector<int> argmax(num_segments * ta.cols(), -1);
-  for (std::size_t i = 0; i < segments.size(); ++i) {
-    const auto s = static_cast<std::size_t>(segments[i]);
-    for (std::size_t c = 0; c < ta.cols(); ++c) {
-      const std::size_t k = s * ta.cols() + c;
-      if (argmax[k] < 0 || ta.at(i, c) > out.at(s, c)) {
-        out.at(s, c) = ta.at(i, c);
-        argmax[k] = static_cast<int>(i);
+  parallel_for(0, ta.cols(), 1, [&](std::size_t clo, std::size_t chi) {
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const auto s = static_cast<std::size_t>(segments[i]);
+      for (std::size_t c = clo; c < chi; ++c) {
+        const std::size_t k = s * ta.cols() + c;
+        if (argmax[k] < 0 || ta.at(i, c) > out.at(s, c)) {
+          out.at(s, c) = ta.at(i, c);
+          argmax[k] = static_cast<int>(i);
+        }
       }
     }
-  }
+  });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn =
       [a, v, am = std::move(argmax)](Tape& t) {
         const Tensor& g = t.grad_ref(v);
         t.ensure_grad(a);
         Tensor& ga = t.grad_ref(a);
-        for (std::size_t s = 0; s < g.rows(); ++s) {
-          for (std::size_t c = 0; c < g.cols(); ++c) {
-            const int i = am[s * g.cols() + c];
-            if (i >= 0) ga.at(static_cast<std::size_t>(i), c) += g.at(s, c);
+        // Each argmax row belongs to exactly one segment, so distinct (s, c)
+        // write distinct ga cells: segment-row-parallel is race-free.
+        parallel_for(0, g.rows(), row_grain(g.cols()), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t s = lo; s < hi; ++s) {
+            for (std::size_t c = 0; c < g.cols(); ++c) {
+              const int i = am[s * g.cols() + c];
+              if (i >= 0) ga.at(static_cast<std::size_t>(i), c) += g.at(s, c);
+            }
           }
-        }
+        });
       };
   return v;
 }
@@ -392,7 +478,8 @@ Value Tape::sum_all(Value a) {
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v](Tape& t) {
     const double g = t.grad_ref(v)[0];
     t.ensure_grad(a);
-    for (double& x : t.grad_ref(a).data()) x += g;
+    Tensor& ga = t.grad_ref(a);
+    pointwise(ga.size(), [&](std::size_t i) { ga[i] += g; });
   };
   return v;
 }
@@ -417,9 +504,10 @@ Value Tape::log_sum_exp(Value a, double gamma) {
     const double g = t.grad_ref(v)[0];
     const Tensor& va = t.value(a);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < va.size(); ++i) {
-      t.grad_ref(a)[i] += g * std::exp((va[i] - m) / gamma) / z;  // softmax weights
-    }
+    Tensor& ga = t.grad_ref(a);
+    pointwise(va.size(), [&](std::size_t i) {
+      ga[i] += g * std::exp((va[i] - m) / gamma) / z;  // softmax weights
+    });
   };
   return v;
 }
@@ -428,21 +516,22 @@ Value Tape::soft_min0(Value a, double gamma) {
   if (gamma <= 0.0) throw std::runtime_error("soft_min0: gamma must be positive");
   const Tensor& ta = value(a);
   Tensor out = ta;
-  for (double& x : out.data()) {
-    const double t = -x / gamma;
+  pointwise(out.size(), [&](std::size_t i) {
+    const double t = -out[i] / gamma;
     // -gamma * softplus(-x/gamma), with stable softplus.
     const double sp = std::log1p(std::exp(-std::fabs(t))) + std::max(t, 0.0);
-    x = -gamma * sp;
-  }
+    out[i] = -gamma * sp;
+  });
   Value v = make(std::move(out), nullptr);
   nodes_[static_cast<std::size_t>(v.id)].backward_fn = [a, v, gamma](Tape& t) {
     const Tensor& g = t.grad_ref(v);
     const Tensor& va = t.value(a);
     t.ensure_grad(a);
-    for (std::size_t i = 0; i < g.size(); ++i) {
+    Tensor& ga = t.grad_ref(a);
+    pointwise(g.size(), [&](std::size_t i) {
       const double sig = 1.0 / (1.0 + std::exp(va[i] / gamma));  // d/dx = sigma(-x/gamma)
-      t.grad_ref(a)[i] += g[i] * sig;
-    }
+      ga[i] += g[i] * sig;
+    });
   };
   return v;
 }
@@ -462,10 +551,9 @@ Value Tape::mse(Value prediction, const Tensor& target) {
     const double g = t.grad_ref(v)[0];
     const Tensor& vp = t.value(prediction);
     t.ensure_grad(prediction);
+    Tensor& gp = t.grad_ref(prediction);
     const double k = 2.0 / static_cast<double>(vp.size());
-    for (std::size_t i = 0; i < vp.size(); ++i) {
-      t.grad_ref(prediction)[i] += g * k * (vp[i] - target[i]);
-    }
+    pointwise(vp.size(), [&](std::size_t i) { gp[i] += g * k * (vp[i] - target[i]); });
   };
   return v;
 }
@@ -478,6 +566,8 @@ void Tape::backward(Value root) {
     else std::fill(n.grad.data().begin(), n.grad.data().end(), 0.0);
   }
   grad_ref(root)[0] = 1.0;
+  // Node order stays sequential (the tape is a dependency chain); each
+  // node's backward_fn parallelizes internally.
   for (int i = root.id; i >= 0; --i) {
     Node& n = nodes_[static_cast<std::size_t>(i)];
     bool has_grad = false;

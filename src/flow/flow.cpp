@@ -71,17 +71,19 @@ Flow::Flow(Design* design, const FlowOptions& options)
 
 FlowResult Flow::run_signoff(const SteinerForest& forest) const {
   FlowResult r;
-  WallTimer timer;
-  r.gr = global_route(*design_, forest, options_.router);
-  r.runtime.global_route_s = timer.seconds();
-
-  timer.reset();
-  const DetailedRouteResult dr = detailed_route(*design_, forest, r.gr, options_.droute);
-  r.runtime.detailed_route_s = timer.seconds();
-
-  timer.reset();
-  r.sta = run_sta(*design_, forest, &r.gr, options_.sta);
-  r.runtime.sta_s = timer.seconds();
+  {
+    ScopedTimer timer(r.runtime.global_route, &r.runtime.global_route_s);
+    r.gr = global_route(*design_, forest, options_.router);
+  }
+  DetailedRouteResult dr;
+  {
+    ScopedTimer timer(r.runtime.detailed_route, &r.runtime.detailed_route_s);
+    dr = detailed_route(*design_, forest, r.gr, options_.droute);
+  }
+  {
+    ScopedTimer timer(r.runtime.sta, &r.runtime.sta_s);
+    r.sta = run_sta(*design_, forest, &r.gr, options_.sta);
+  }
 
   r.metrics.wns_ns = r.sta.wns;
   r.metrics.tns_ns = r.sta.tns;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace tsteiner {
 
 TimingGnn::TimingGnn(const GnnConfig& config, int num_cell_types) : cfg_(config) {
@@ -106,19 +108,24 @@ Value TimingGnn::forward(Tape& tape, const GraphCache& g, const Bound& bound, Va
     const Value len = tape.add(dx, dy);  // DBU
     len_norm = tape.scale(len, len_scale);
 
-    // Per-level index slices (edges sorted by depth in the cache).
+    // Per-level index slices (edges sorted by depth in the cache). Levels
+    // stay sequential; within a level the edge slices are assembled with
+    // indexed parallel writes.
     std::vector<std::vector<int>> lvl_idx, lvl_pa, lvl_ch;
     for (std::size_t l = 0; l + 1 < g.level_off.size(); ++l) {
       const int lo = g.level_off[l];
       const int hi = g.level_off[l + 1];
       if (lo == hi) continue;
-      std::vector<int> idx, pa, ch;
-      idx.reserve(static_cast<std::size_t>(hi - lo));
-      for (int i = lo; i < hi; ++i) {
-        idx.push_back(i);
-        pa.push_back(g.edge_pa[static_cast<std::size_t>(i)]);
-        ch.push_back(g.edge_ch[static_cast<std::size_t>(i)]);
-      }
+      const auto n = static_cast<std::size_t>(hi - lo);
+      std::vector<int> idx(n), pa(n), ch(n);
+      parallel_for(0, n, 512, [&](std::size_t blo, std::size_t bhi) {
+        for (std::size_t i = blo; i < bhi; ++i) {
+          const std::size_t e = static_cast<std::size_t>(lo) + i;
+          idx[i] = static_cast<int>(e);
+          pa[i] = g.edge_pa[e];
+          ch[i] = g.edge_ch[e];
+        }
+      });
       lvl_idx.push_back(std::move(idx));
       lvl_pa.push_back(std::move(pa));
       lvl_ch.push_back(std::move(ch));
@@ -244,16 +251,18 @@ Value TimingGnn::forward(Tape& tape, const GraphCache& g, const Bound& bound, Va
         const auto n = static_cast<std::size_t>(hi - lo);
         std::vector<int> in_pins(n), types(n), trees(n), segs(n);
         std::vector<double> caps(n), ress(n), intrs(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          const GraphCache::CellArc& a = g.cell_arcs[static_cast<std::size_t>(lo) + i];
-          in_pins[i] = a.in_pin;
-          types[i] = a.type;
-          trees[i] = g.cell_arc_tree[static_cast<std::size_t>(lo) + i];
-          caps[i] = g.cell_arc_cap[static_cast<std::size_t>(lo) + i];
-          ress[i] = g.cell_arc_res[static_cast<std::size_t>(lo) + i];
-          intrs[i] = g.cell_arc_intrinsic[static_cast<std::size_t>(lo) + i];
-          segs[i] = g.cell_arc_seg[static_cast<std::size_t>(lo) + i];
-        }
+        parallel_for(0, n, 512, [&](std::size_t blo, std::size_t bhi) {
+          for (std::size_t i = blo; i < bhi; ++i) {
+            const GraphCache::CellArc& a = g.cell_arcs[static_cast<std::size_t>(lo) + i];
+            in_pins[i] = a.in_pin;
+            types[i] = a.type;
+            trees[i] = g.cell_arc_tree[static_cast<std::size_t>(lo) + i];
+            caps[i] = g.cell_arc_cap[static_cast<std::size_t>(lo) + i];
+            ress[i] = g.cell_arc_res[static_cast<std::size_t>(lo) + i];
+            intrs[i] = g.cell_arc_intrinsic[static_cast<std::size_t>(lo) + i];
+            segs[i] = g.cell_arc_seg[static_cast<std::size_t>(lo) + i];
+          }
+        });
         const Value emb = tape.gather_rows(P(kTypeEmb), types);
         const Value d_in = tape.concat_cols({
             emb,
@@ -297,19 +306,18 @@ Value TimingGnn::forward(Tape& tape, const GraphCache& g, const Bound& bound, Va
       const int hi = g.net_arc_off[static_cast<std::size_t>(l) + 1];
       if (lo < hi) {
         const auto n = static_cast<std::size_t>(hi - lo);
-        std::vector<int> drv(n), snk(n), s_snode(n), trees(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          const GraphCache::NetArc& a = g.net_arcs[static_cast<std::size_t>(lo) + i];
-          drv[i] = a.driver_pin;
-          snk[i] = a.sink_pin;
-          s_snode[i] = g.net_arc_sink_snode[static_cast<std::size_t>(lo) + i];
-          trees[i] = g.net_arc_tree[static_cast<std::size_t>(lo) + i];
-        }
-        std::vector<int> d_snode(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          d_snode[i] = g.pin_snode[static_cast<std::size_t>(drv[i])];
-          if (d_snode[i] < 0) throw std::runtime_error("driver pin missing snode");
-        }
+        std::vector<int> drv(n), snk(n), s_snode(n), trees(n), d_snode(n);
+        parallel_for(0, n, 512, [&](std::size_t blo, std::size_t bhi) {
+          for (std::size_t i = blo; i < bhi; ++i) {
+            const GraphCache::NetArc& a = g.net_arcs[static_cast<std::size_t>(lo) + i];
+            drv[i] = a.driver_pin;
+            snk[i] = a.sink_pin;
+            s_snode[i] = g.net_arc_sink_snode[static_cast<std::size_t>(lo) + i];
+            trees[i] = g.net_arc_tree[static_cast<std::size_t>(lo) + i];
+            d_snode[i] = g.pin_snode[static_cast<std::size_t>(a.driver_pin)];
+            if (d_snode[i] < 0) throw std::runtime_error("driver pin missing snode");
+          }
+        });
         const Value elm_s = tape.gather_rows(elm_norm, s_snode);
         const Value n_in = tape.concat_cols({
             tape.gather_rows(h, s_snode),

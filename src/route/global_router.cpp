@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace tsteiner {
 
@@ -217,16 +218,28 @@ GlobalRouteResult global_route(const Design& design, const SteinerForest& forest
   if (options.fixed_h_cap > 0.0 && options.fixed_v_cap > 0.0) {
     grid.set_capacities(options.fixed_h_cap, options.fixed_v_cap);
   } else {
-    std::vector<double> hu;
-    std::vector<double> vu;
-    hu.reserve(grid.num_h_edges());
-    vu.reserve(grid.num_v_edges());
-    for (int y = 0; y < grid.ny(); ++y) {
-      for (int x = 0; x + 1 < grid.nx(); ++x) hu.push_back(grid.h_usage(x, y));
-    }
-    for (int y = 0; y + 1 < grid.ny(); ++y) {
-      for (int x = 0; x < grid.nx(); ++x) vu.push_back(grid.v_usage(x, y));
-    }
+    // Row-parallel usage snapshots (indexed writes, read-only grid).
+    const std::size_t h_per_row = static_cast<std::size_t>(std::max(0, grid.nx() - 1));
+    const std::size_t v_per_row = static_cast<std::size_t>(grid.nx());
+    std::vector<double> hu(static_cast<std::size_t>(grid.ny()) * h_per_row);
+    std::vector<double> vu(static_cast<std::size_t>(std::max(0, grid.ny() - 1)) * v_per_row);
+    parallel_for(0, static_cast<std::size_t>(grid.ny()), 4, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t y = lo; y < hi; ++y) {
+        for (int x = 0; x + 1 < grid.nx(); ++x) {
+          hu[y * h_per_row + static_cast<std::size_t>(x)] =
+              grid.h_usage(x, static_cast<int>(y));
+        }
+      }
+    });
+    parallel_for(0, static_cast<std::size_t>(std::max(0, grid.ny() - 1)), 4,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t y = lo; y < hi; ++y) {
+                     for (int x = 0; x < grid.nx(); ++x) {
+                       vu[y * v_per_row + static_cast<std::size_t>(x)] =
+                           grid.v_usage(x, static_cast<int>(y));
+                     }
+                   }
+                 });
     const double h_cap = std::max(options.min_capacity, options.capacity_factor * p90(hu));
     const double v_cap = std::max(options.min_capacity, options.capacity_factor * p90(vu));
     grid.set_capacities(h_cap, v_cap);
@@ -238,36 +251,48 @@ GlobalRouteResult global_route(const Design& design, const SteinerForest& forest
   for (int round = 0; round < options.rrr_iterations; ++round) {
     if (grid.total_overflow() <= 0.0) break;
     ++result.rrr_rounds_used;
-    // Add history on overflowed edges.
-    for (int y = 0; y < grid.ny(); ++y) {
-      for (int x = 0; x + 1 < grid.nx(); ++x) {
-        if (grid.h_usage(x, y) > grid.h_capacity()) {
-          grid.add_h_history(x, y, options.history_increment);
+    // Add history on overflowed edges: rows are disjoint, so row-parallel
+    // writes touch distinct grid cells.
+    parallel_for(0, static_cast<std::size_t>(grid.ny()), 4, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t yy = lo; yy < hi; ++yy) {
+        const int y = static_cast<int>(yy);
+        for (int x = 0; x + 1 < grid.nx(); ++x) {
+          if (grid.h_usage(x, y) > grid.h_capacity()) {
+            grid.add_h_history(x, y, options.history_increment);
+          }
+        }
+        if (y + 1 < grid.ny()) {
+          for (int x = 0; x < grid.nx(); ++x) {
+            if (grid.v_usage(x, y) > grid.v_capacity()) {
+              grid.add_v_history(x, y, options.history_increment);
+            }
+          }
         }
       }
-    }
-    for (int y = 0; y + 1 < grid.ny(); ++y) {
-      for (int x = 0; x < grid.nx(); ++x) {
-        if (grid.v_usage(x, y) > grid.v_capacity()) {
-          grid.add_v_history(x, y, options.history_increment);
+    });
+    // Collect connections through overflowed edges: parallel per-connection
+    // hit flags (read-only grid scan), then an in-order sweep so the victim
+    // list — and with it the reroute order — matches the serial router.
+    std::vector<char> hit_flags(result.connections.size(), 0);
+    parallel_for(0, result.connections.size(), 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t c = lo; c < hi; ++c) {
+        const auto& path = result.connections[c].path;
+        bool hit = false;
+        for (std::size_t i = 1; i < path.size() && !hit; ++i) {
+          const GCell& p = path[i - 1];
+          const GCell& q = path[i];
+          if (p.y == q.y) {
+            hit = grid.h_usage(std::min(p.x, q.x), p.y) > grid.h_capacity();
+          } else {
+            hit = grid.v_usage(p.x, std::min(p.y, q.y)) > grid.v_capacity();
+          }
         }
+        hit_flags[c] = hit ? 1 : 0;
       }
-    }
-    // Collect connections through overflowed edges.
+    });
     std::vector<int> victims;
     for (std::size_t c = 0; c < result.connections.size(); ++c) {
-      const auto& path = result.connections[c].path;
-      bool hit = false;
-      for (std::size_t i = 1; i < path.size() && !hit; ++i) {
-        const GCell& p = path[i - 1];
-        const GCell& q = path[i];
-        if (p.y == q.y) {
-          hit = grid.h_usage(std::min(p.x, q.x), p.y) > grid.h_capacity();
-        } else {
-          hit = grid.v_usage(p.x, std::min(p.y, q.y)) > grid.v_capacity();
-        }
-      }
-      if (hit) victims.push_back(static_cast<int>(c));
+      if (hit_flags[c]) victims.push_back(static_cast<int>(c));
     }
     if (victims.empty()) break;
     for (int c : victims) {
@@ -281,14 +306,19 @@ GlobalRouteResult global_route(const Design& design, const SteinerForest& forest
              grid.total_overflow());
   }
 
-  // Final accounting.
-  for (const RoutedConnection& conn : result.connections) {
-    const SteinerTree& tree = forest.trees[static_cast<std::size_t>(conn.tree)];
-    const SteinerEdge& e = tree.edges[static_cast<std::size_t>(conn.edge)];
-    result.wirelength_dbu +=
-        conn.length_dbu(grid, tree.nodes[static_cast<std::size_t>(e.a)].pos,
-                        tree.nodes[static_cast<std::size_t>(e.b)].pos);
-  }
+  // Final accounting: per-connection lengths in parallel, serial fold so the
+  // float sum matches the historical connection order bit for bit.
+  std::vector<double> conn_len(result.connections.size(), 0.0);
+  parallel_for(0, result.connections.size(), 32, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const RoutedConnection& conn = result.connections[c];
+      const SteinerTree& tree = forest.trees[static_cast<std::size_t>(conn.tree)];
+      const SteinerEdge& e = tree.edges[static_cast<std::size_t>(conn.edge)];
+      conn_len[c] = conn.length_dbu(grid, tree.nodes[static_cast<std::size_t>(e.a)].pos,
+                                    tree.nodes[static_cast<std::size_t>(e.b)].pos);
+    }
+  });
+  for (double len : conn_len) result.wirelength_dbu += len;
   result.total_overflow = grid.total_overflow();
   result.overflowed_edges = grid.num_overflowed_edges();
   return result;

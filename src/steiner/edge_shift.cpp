@@ -1,6 +1,9 @@
 #include "steiner/edge_shift.hpp"
 
 #include <limits>
+#include <numeric>
+
+#include "util/parallel.hpp"
 
 namespace tsteiner {
 
@@ -57,9 +60,17 @@ int edge_shift(SteinerTree& tree, const EdgeCostFn& cost, const EdgeShiftOptions
 
 int edge_shift_forest(SteinerForest& forest, const EdgeCostFn& cost,
                       const EdgeShiftOptions& options) {
-  int moves = 0;
-  for (SteinerTree& t : forest.trees) moves += edge_shift(t, cost, options);
-  return moves;
+  // Trees are independent; per-tree move counts land in distinct slots and
+  // are folded serially, so the total matches the serial loop exactly. The
+  // cost functor must be safe to call concurrently (all in-tree callers pass
+  // read-only congestion-map lookups).
+  std::vector<int> moves(forest.trees.size(), 0);
+  parallel_for(0, forest.trees.size(), 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      moves[t] = edge_shift(forest.trees[t], cost, options);
+    }
+  });
+  return std::accumulate(moves.begin(), moves.end(), 0);
 }
 
 }  // namespace tsteiner

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <thread>
 #include <utility>
+
+#include "util/parallel.hpp"
 
 namespace tsteiner {
 
@@ -183,27 +184,19 @@ SteinerForest build_forest(const Design& design, const RsmtOptions& options) {
   }
   forest.trees.resize(routable.size());
 
-  int threads = options.threads;
-  if (threads == 0) threads = static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(routable.size())));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < routable.size(); ++i) {
-      forest.trees[i] = build_rsmt(design, routable[i], options);
-    }
-  } else {
-    // Nets are independent; a striped partition keeps large nets spread out.
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) {
-      pool.emplace_back([&, w] {
-        for (std::size_t i = static_cast<std::size_t>(w); i < routable.size();
-             i += static_cast<std::size_t>(threads)) {
+  // Nets are independent; each chunk writes only its own tree slots, so the
+  // forest is identical for any thread count. options.threads acts as a
+  // pool-width cap for this call (0 = pool default, 1 = serial; negative
+  // requests clamp to the pool default).
+  const int threads = clamp_thread_request(options.threads);
+  parallel_for(
+      0, routable.size(), 4,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
           forest.trees[i] = build_rsmt(design, routable[i], options);
         }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
+      },
+      threads);
   forest.build_movable_index();
   return forest;
 }

@@ -21,10 +21,12 @@ struct RsmtOptions {
   int exact_pin_limit = 10;
   /// Upper bound on Steiner points added per net.
   int max_steiner_per_net = 64;
-  /// Worker threads for forest construction (nets are independent); 0 picks
-  /// the hardware concurrency, 1 disables threading. Results are identical
-  /// regardless of thread count.
-  int threads = 1;
+  /// Pool-width cap for forest construction (nets are independent, built on
+  /// the shared pool from util/parallel.hpp): 0 uses the pool default
+  /// (TSTEINER_THREADS / hardware concurrency), 1 forces serial, and
+  /// negative values clamp to 0. Results are bit-identical regardless of
+  /// thread count.
+  int threads = 0;
 };
 
 /// Build a Steiner tree for one net (requires >= 1 sink). The resulting

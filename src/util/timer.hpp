@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "util/parallel.hpp"
+
 namespace tsteiner {
 
 class WallTimer {
@@ -21,13 +23,56 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Wall time plus total CPU-seconds for one flow phase. busy_s counts the
+/// calling thread's wall time plus every pool worker-second spent inside the
+/// phase, so utilization() reads as "effective threads": ~1.0 for a serial
+/// phase, approaching the pool width for a well-parallelized one. This is
+/// what lets the Table-IV benches report serial vs. parallel wall time
+/// without any per-loop instrumentation.
+struct PhaseStat {
+  double wall_s = 0.0;
+  double busy_s = 0.0;
+
+  double utilization() const { return wall_s > 1e-12 ? busy_s / wall_s : 1.0; }
+};
+
+/// RAII phase timer: on destruction adds the elapsed wall time and the pool
+/// busy-time delta to `stat` (and mirrors the wall time into `legacy_wall`
+/// when given, for the pre-PhaseStat RuntimeBreakdown fields).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseStat& stat, double* legacy_wall = nullptr)
+      : stat_(stat), legacy_wall_(legacy_wall), busy0_ns_(parallel_busy_ns()) {}
+  ~ScopedTimer() {
+    const double wall = timer_.seconds();
+    stat_.wall_s += wall;
+    stat_.busy_s += wall + static_cast<double>(parallel_busy_ns() - busy0_ns_) * 1e-9;
+    if (legacy_wall_ != nullptr) *legacy_wall_ += wall;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  WallTimer timer_;
+  PhaseStat& stat_;
+  double* legacy_wall_;
+  std::uint64_t busy0_ns_;
+};
+
 /// Accumulates named phase durations (TSteiner / global route / detailed
-/// route) the way Table IV splits the flow runtime.
+/// route) the way Table IV splits the flow runtime. The plain `*_s` doubles
+/// are the historical wall-clock fields; the PhaseStat members add the
+/// thread-utilization view on the same phases.
 struct RuntimeBreakdown {
   double tsteiner_s = 0.0;
   double global_route_s = 0.0;
   double detailed_route_s = 0.0;
   double sta_s = 0.0;
+
+  PhaseStat tsteiner;
+  PhaseStat global_route;
+  PhaseStat detailed_route;
+  PhaseStat sta;
 
   double total() const { return tsteiner_s + global_route_s + detailed_route_s + sta_s; }
 };
