@@ -1,0 +1,132 @@
+// Little-endian fixed-width byte encoding for the TSteinerDB container.
+//
+// ByteWriter appends primitives to a growable buffer; ByteReader consumes
+// them with bounds checking. A reader that runs past the end (or sees a
+// length prefix larger than the remaining payload) latches ok() == false and
+// every subsequent read returns a zero value, so decoders can emit a long
+// straight-line sequence of reads and check ok() once per logical record
+// instead of after every field. All multi-byte values are little-endian
+// regardless of host order, so containers are portable across machines.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tsteiner::db {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { append_le(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+  void i32_vec(const std::vector<int>& v) {
+    u64(v.size());
+    for (int x : v) i32(x);
+  }
+  /// Append pre-encoded bytes verbatim (e.g. a typed codec's payload).
+  void raw(const std::vector<std::uint8_t>& bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  bool ok() const { return ok_; }
+  /// True when every byte was consumed and no read under-ran.
+  bool done() const { return ok_ && pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() { return std::bit_cast<double>(take_le<std::uint64_t>()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = u64();
+    // Each element occupies 8 bytes, so a length prefix beyond remaining/8
+    // can only come from corruption; reject before allocating.
+    if (!ok_ || n > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (double& x : v) x = f64();
+    return v;
+  }
+  std::vector<int> i32_vec() {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > remaining() / 4) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<int> v(static_cast<std::size_t>(n));
+    for (int& x : v) x = i32();
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T take_le() {
+    if (!ok_ || size_ - pos_ < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace tsteiner::db

@@ -1,0 +1,48 @@
+// Typed chunk codecs for the TSteinerDB container: cell library, design
+// (with its benchmark spec), and Steiner forest. Each encode_* produces one
+// chunk payload; each decode_* validates structure as it parses and returns
+// nullopt on any malformed input (the container layer has already CRC-checked
+// the bytes, so a decode failure means a logic/version problem, not file
+// corruption). Model parameters are encoded by gnn/serialize and flow-level
+// calibration/sample payloads by flow/snapshot, keeping the library
+// dependency graph acyclic (db sits below gnn and flow).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/design_generator.hpp"
+#include "netlist/liberty.hpp"
+#include "netlist/netlist.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner::db {
+
+std::vector<std::uint8_t> encode_library(const CellLibrary& lib);
+std::optional<CellLibrary> decode_library(const std::uint8_t* data, std::size_t size);
+
+/// Stable identity of a library: CRC32 of its encoded form. Snapshots store
+/// it so artifacts referencing type ids are never resolved against a
+/// different library.
+std::uint32_t library_fingerprint(const CellLibrary& lib);
+
+/// The design payload carries the BenchmarkSpec it was generated from plus
+/// the complete object state (cells, pins, nets, die, clock), so ids that
+/// other chunks reference (pins in forests, labels per pin) round-trip
+/// bit-exactly. `library` must outlive the returned design.
+std::vector<std::uint8_t> encode_design(const BenchmarkSpec& spec, const Design& design);
+struct DecodedDesign {
+  BenchmarkSpec spec;
+  Design design;
+};
+std::optional<DecodedDesign> decode_design(const std::uint8_t* data, std::size_t size,
+                                           const CellLibrary& library);
+
+std::vector<std::uint8_t> encode_forest(const SteinerForest& forest);
+/// Validates tree structure (connectivity, index ranges, finite coordinates)
+/// exactly like the text reader in steiner/forest_io; the movable index is
+/// rebuilt.
+std::optional<SteinerForest> decode_forest(const std::uint8_t* data, std::size_t size);
+
+}  // namespace tsteiner::db

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to integrity-check every
+// TSteinerDB chunk. Standard reflected table-driven implementation; matches
+// zlib's crc32() so containers can be checked with external tooling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsteiner::db {
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace tsteiner::db

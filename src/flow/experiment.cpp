@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "flow/snapshot.hpp"
 #include "gnn/serialize.hpp"
 #include "tsteiner/random_move.hpp"
 #include "util/log.hpp"
@@ -26,7 +27,16 @@ int env_epochs(int fallback) {
 }
 
 PreparedDesign prepare_design(const CellLibrary& lib, const BenchmarkSpec& spec, double scale,
-                              const FlowOptions& flow_options) {
+                              const FlowOptions& flow_options,
+                              const std::string& snapshot_path) {
+  if (!snapshot_path.empty()) {
+    if (auto restored = load_design_snapshot(snapshot_path, lib, flow_options)) {
+      if (restored->spec.name == spec.name && restored->spec.seed == spec.seed) {
+        TS_VERBOSE("restored %s from snapshot %s", spec.name.c_str(), snapshot_path.c_str());
+        return std::move(*restored);
+      }
+    }
+  }
   PreparedDesign pd;
   pd.spec = spec;
   const GeneratorParams params = params_for(spec, scale);
@@ -39,6 +49,7 @@ PreparedDesign prepare_design(const CellLibrary& lib, const BenchmarkSpec& spec,
   TS_VERBOSE("prepared %s: %lld cells, %lld steiner pts, clock %.3f ns",
              spec.name.c_str(), pd.design->stats().num_cells,
              pd.flow->initial_forest().num_steiner_nodes(), pd.design->clock_period());
+  if (!snapshot_path.empty()) save_design_snapshot(pd, lib, snapshot_path);
   return pd;
 }
 
@@ -55,6 +66,17 @@ TrainingSample make_training_sample(const PreparedDesign& pd, const SteinerFores
 }
 
 TrainedSuite build_and_train_suite(const SuiteOptions& options) {
+  // Whole-suite snapshot: a warm run restores designs, labels and the trained
+  // evaluator from one TSteinerDB container and skips the expensive pipeline.
+  std::string db_path;
+  if (const char* env = std::getenv("TSTEINER_DB")) db_path = env;
+  if (!db_path.empty()) {
+    if (auto restored = load_suite_snapshot(db_path, options)) {
+      TS_INFO("restored trained suite from %s", db_path.c_str());
+      return std::move(*restored);
+    }
+  }
+
   TrainedSuite suite;
   suite.lib = std::make_unique<CellLibrary>(CellLibrary::make_default());
   Rng rng(options.seed);
@@ -80,11 +102,12 @@ TrainedSuite build_and_train_suite(const SuiteOptions& options) {
                   options.scale, options.train.epochs, options.perturb_per_design,
                   options.train.lr, static_cast<unsigned long long>(options.seed));
     cache_tag = tag;
-    cache_path = options.model_cache_dir + "/tsteiner_model_cache.txt";
+    cache_path = options.model_cache_dir + "/tsteiner_model_cache.bin";
     if (auto cached =
             load_model(cache_path, options.gnn, suite.lib->num_types(), cache_tag)) {
       TS_INFO("loaded trained evaluator from %s", cache_path.c_str());
       suite.model = std::make_unique<TimingGnn>(std::move(*cached));
+      if (!db_path.empty()) save_suite_snapshot(suite, options, db_path);
       return suite;
     }
   }
@@ -116,6 +139,11 @@ TrainedSuite build_and_train_suite(const SuiteOptions& options) {
   if (!cache_path.empty()) {
     if (save_model(*suite.model, cache_path, cache_tag)) {
       TS_INFO("cached trained evaluator at %s", cache_path.c_str());
+    }
+  }
+  if (!db_path.empty()) {
+    if (save_suite_snapshot(suite, options, db_path)) {
+      TS_INFO("saved suite snapshot to %s", db_path.c_str());
     }
   }
   return suite;

@@ -27,9 +27,13 @@ struct PreparedDesign {
   std::shared_ptr<const GraphCache> cache;  ///< topology of the initial forest
 };
 
-/// Generate, place and flow-prepare one benchmark design.
+/// Generate, place and flow-prepare one benchmark design. When
+/// `snapshot_path` is non-empty, a valid TSteinerDB design snapshot at that
+/// path is restored instead (skipping generation, placement and flow
+/// calibration), and a fresh preparation is saved there for the next run.
 PreparedDesign prepare_design(const CellLibrary& lib, const BenchmarkSpec& spec, double scale,
-                              const FlowOptions& flow_options = {});
+                              const FlowOptions& flow_options = {},
+                              const std::string& snapshot_path = {});
 
 /// Label a forest variant by running the golden sign-off flow on it.
 TrainingSample make_training_sample(const PreparedDesign& pd, const SteinerForest& forest);
@@ -59,6 +63,12 @@ struct TrainedSuite {
 
 /// Full pipeline: prepare all ten designs, label, train. Deterministic for a
 /// fixed SuiteOptions.
+///
+/// When the TSTEINER_DB environment variable names a file, the suite is
+/// restored from that TSteinerDB snapshot if it exists and matches the
+/// options fingerprint (skipping generation, placement, labeling and
+/// training, with bit-identical results); otherwise the suite is built cold
+/// and the snapshot is written there for the next run.
 TrainedSuite build_and_train_suite(const SuiteOptions& options);
 
 /// TSTEINER_SCALE env var (default `fallback`).

@@ -69,6 +69,16 @@ Flow::Flow(Design* design, const FlowOptions& options)
   initial_forest_.build_movable_index();
 }
 
+Flow Flow::from_snapshot(Design* design, const FlowOptions& options,
+                         const FlowCalibration& cal, SteinerForest initial_forest) {
+  FlowOptions opts = options;
+  opts.router.fixed_h_cap = cal.fixed_h_cap;
+  opts.router.fixed_v_cap = cal.fixed_v_cap;
+  design->set_clock_period(cal.clock_period_ns);
+  initial_forest.build_movable_index();
+  return Flow(design, opts, std::move(initial_forest));
+}
+
 FlowResult Flow::run_signoff(const SteinerForest& forest) const {
   FlowResult r;
   {

@@ -48,6 +48,15 @@ struct FlowResult {
   GlobalRouteResult gr;
 };
 
+/// The per-design state a Flow derives once and pins: restoring it from a
+/// snapshot lets run_signoff() reproduce cold-run results bit-exactly while
+/// skipping forest construction, the clock-setting STA and the probe route.
+struct FlowCalibration {
+  double clock_period_ns = 0.0;
+  double fixed_h_cap = 0.0;
+  double fixed_v_cap = 0.0;
+};
+
 class Flow {
  public:
   /// `design` must be placed already; the constructor builds the initial
@@ -55,9 +64,19 @@ class Flow {
   /// pins router capacities from a baseline probe route.
   Flow(Design* design, const FlowOptions& options = {});
 
+  /// Reassemble a Flow from snapshot state: the design's clock period is set
+  /// from `cal`, router capacities are pinned to the saved values, and the
+  /// saved (already edge-shifted) initial forest is adopted as-is. No
+  /// calibration work runs.
+  static Flow from_snapshot(Design* design, const FlowOptions& options,
+                            const FlowCalibration& cal, SteinerForest initial_forest);
+
   const Design& design() const { return *design_; }
   const FlowOptions& options() const { return options_; }
   const SteinerForest& initial_forest() const { return initial_forest_; }
+  FlowCalibration calibration() const {
+    return {design_->clock_period(), options_.router.fixed_h_cap, options_.router.fixed_v_cap};
+  }
 
   /// Route + detail-route + sign-off STA a forest variant (same topology or
   /// not; only positions matter to the router). Capacities are pinned.
@@ -68,6 +87,9 @@ class Flow {
   StaResult run_preroute_sta(const SteinerForest& forest) const;
 
  private:
+  Flow(Design* design, const FlowOptions& options, SteinerForest initial_forest)
+      : design_(design), options_(options), initial_forest_(std::move(initial_forest)) {}
+
   Design* design_;
   FlowOptions options_;
   SteinerForest initial_forest_;

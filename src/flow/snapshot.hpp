@@ -1,0 +1,41 @@
+// Suite / design snapshot-restore on the TSteinerDB container (src/db).
+//
+// A suite snapshot captures everything build_and_train_suite() computes —
+// cell library, generated + placed designs, calibrated flows (clock period,
+// pinned routing capacities), initial Steiner forests, sign-off labeled base
+// samples, and the trained evaluator — so a warm second run skips design
+// generation, placement, label generation and training entirely and
+// reproduces the cold run's sign-off metrics bit-exactly. Restores are
+// rejected (nullopt) when the file is corrupted, truncated, or was produced
+// under different SuiteOptions (the options fingerprint is stored and
+// compared), so a stale snapshot can never silently poison an experiment.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/experiment.hpp"
+
+namespace tsteiner {
+
+/// Deterministic fingerprint of every option that influences suite state:
+/// scale, seeds, perturbation setup, training hyperparameters, GNN config
+/// and the flow/router/STA knobs. Stored in the snapshot and validated on
+/// restore.
+std::string suite_options_tag(const SuiteOptions& options);
+
+bool save_suite_snapshot(const TrainedSuite& suite, const SuiteOptions& options,
+                         const std::string& path);
+std::optional<TrainedSuite> load_suite_snapshot(const std::string& path,
+                                                const SuiteOptions& options);
+
+/// Single-design snapshot: spec + design + flow calibration + initial
+/// forest. The library itself is not embedded — its fingerprint is, and
+/// `lib` must match on load (the caller owns library lifetime).
+bool save_design_snapshot(const PreparedDesign& pd, const CellLibrary& lib,
+                          const std::string& path);
+std::optional<PreparedDesign> load_design_snapshot(const std::string& path,
+                                                   const CellLibrary& lib,
+                                                   const FlowOptions& options = {});
+
+}  // namespace tsteiner

@@ -3,6 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "db/bytes.hpp"
+#include "db/container.hpp"
+
 namespace tsteiner {
 
 namespace {
@@ -15,28 +18,15 @@ std::string config_line(const GnnConfig& c, int num_cell_types) {
   return os.str();
 }
 
-}  // namespace
-
-bool save_model(const TimingGnn& model, const std::string& path, const std::string& tag) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "tsteiner-model-v1\n";
-  out << "tag " << tag << '\n';
-  out << config_line(model.config(), /*num_cell_types=*/-1) << '\n';
-  out.precision(17);
-  out << model.parameters().size() << '\n';
-  for (const Tensor& p : model.parameters()) {
-    out << p.rows() << ' ' << p.cols() << '\n';
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      out << p[i] << (i + 1 == p.size() ? '\n' : ' ');
-    }
-    if (p.size() == 0) out << '\n';
-  }
-  return static_cast<bool>(out);
+bool config_equal(const GnnConfig& a, const GnnConfig& b) {
+  return a.hidden == b.hidden && a.type_embed == b.type_embed &&
+         a.delay_hidden == b.delay_hidden && a.steiner_iters == b.steiner_iters &&
+         a.soft_abs_delta == b.soft_abs_delta && a.physics_anchor == b.physics_anchor &&
+         a.seed == b.seed;
 }
 
-std::optional<TimingGnn> load_model(const std::string& path, const GnnConfig& config,
-                                    int num_cell_types, const std::string& tag) {
+std::optional<TimingGnn> load_model_text(const std::string& path, const GnnConfig& config,
+                                         int num_cell_types, const std::string& tag) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::string line;
@@ -55,6 +45,98 @@ std::optional<TimingGnn> load_model(const std::string& path, const GnnConfig& co
     }
   }
   return model;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_model_payload(const TimingGnn& model, const std::string& tag) {
+  db::ByteWriter w;
+  const GnnConfig& c = model.config();
+  w.str(tag);
+  w.i32(c.hidden);
+  w.i32(c.type_embed);
+  w.i32(c.delay_hidden);
+  w.i32(c.steiner_iters);
+  w.f64(c.soft_abs_delta);
+  w.u8(c.physics_anchor ? 1 : 0);
+  w.u64(c.seed);
+  w.u32(static_cast<std::uint32_t>(model.parameters().size()));
+  for (const Tensor& p : model.parameters()) {
+    w.u64(p.rows());
+    w.u64(p.cols());
+    w.f64_vec(p.data());
+  }
+  return w.take();
+}
+
+std::optional<TimingGnn> decode_model_payload(const std::uint8_t* data, std::size_t size,
+                                              const GnnConfig& config, int num_cell_types,
+                                              const std::string& tag) {
+  db::ByteReader r(data, size);
+  if (r.str() != tag) return std::nullopt;
+  GnnConfig stored;
+  stored.hidden = r.i32();
+  stored.type_embed = r.i32();
+  stored.delay_hidden = r.i32();
+  stored.steiner_iters = r.i32();
+  stored.soft_abs_delta = r.f64();
+  stored.physics_anchor = r.u8() != 0;
+  stored.seed = r.u64();
+  if (!r.ok() || !config_equal(stored, config)) return std::nullopt;
+
+  TimingGnn model(config, num_cell_types);
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count != model.parameters().size()) return std::nullopt;
+  for (Tensor& p : model.parameters()) {
+    const std::uint64_t rows = r.u64();
+    const std::uint64_t cols = r.u64();
+    std::vector<double> values = r.f64_vec();
+    if (!r.ok() || rows != p.rows() || cols != p.cols() || values.size() != p.size()) {
+      return std::nullopt;
+    }
+    p.data() = std::move(values);
+  }
+  if (!r.done()) return std::nullopt;
+  return model;
+}
+
+bool save_model(const TimingGnn& model, const std::string& path, const std::string& tag) {
+  db::DbWriter writer;
+  return writer.open(path) &&
+         writer.add_chunk(db::kChunkModel, encode_model_payload(model, tag)) &&
+         writer.finish();
+}
+
+std::optional<TimingGnn> load_model(const std::string& path, const GnnConfig& config,
+                                    int num_cell_types, const std::string& tag) {
+  db::DbReader reader;
+  if (!reader.open(path)) {
+    // Not a container (or damaged beyond the header): try the legacy text
+    // format so caches written before the binary container still load.
+    return load_model_text(path, config, num_cell_types, tag);
+  }
+  const db::ChunkInfo* chunk = reader.find(db::kChunkModel);
+  if (chunk == nullptr) return std::nullopt;
+  return decode_model_payload(reader.payload(*chunk), static_cast<std::size_t>(chunk->size),
+                              config, num_cell_types, tag);
+}
+
+bool save_model_text(const TimingGnn& model, const std::string& path, const std::string& tag) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "tsteiner-model-v1\n";
+  out << "tag " << tag << '\n';
+  out << config_line(model.config(), /*num_cell_types=*/-1) << '\n';
+  out.precision(17);
+  out << model.parameters().size() << '\n';
+  for (const Tensor& p : model.parameters()) {
+    out << p.rows() << ' ' << p.cols() << '\n';
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      out << p[i] << (i + 1 == p.size() ? '\n' : ' ');
+    }
+    if (p.size() == 0) out << '\n';
+  }
+  return static_cast<bool>(out);
 }
 
 }  // namespace tsteiner

@@ -148,6 +148,24 @@ CellLibrary CellLibrary::make_default() {
   return lib;
 }
 
+CellLibrary CellLibrary::from_parts(std::vector<CellType> types, double wire_res_kohm_per_dbu,
+                                    double wire_cap_pf_per_dbu, double via_res_kohm) {
+  CellLibrary lib;
+  lib.wire_res_ = wire_res_kohm_per_dbu;
+  lib.wire_cap_ = wire_cap_pf_per_dbu;
+  lib.via_res_ = via_res_kohm;
+  for (CellType& t : types) {
+    const bool is_register = t.is_register;
+    const int id = lib.add(std::move(t));
+    if (is_register) {
+      lib.register_type_ = id;
+    } else {
+      lib.comb_types_.push_back(id);
+    }
+  }
+  return lib;
+}
+
 int CellLibrary::find(const std::string& name) const {
   for (std::size_t i = 0; i < types_.size(); ++i) {
     if (types_[i].name == name) return static_cast<int>(i);

@@ -27,6 +27,7 @@ class Lut2 {
 
   const std::vector<double>& slew_axis() const { return slew_axis_; }
   const std::vector<double>& load_axis() const { return load_axis_; }
+  const std::vector<double>& values() const { return values_; }
 
  private:
   std::vector<double> slew_axis_;
@@ -59,6 +60,13 @@ class CellLibrary {
   /// Build the default synthetic 130nm-flavoured library (inverters and
   /// buffers in 3 drive strengths, NAND/NOR/AND/OR/XOR/AOI/OAI/MUX, DFF).
   static CellLibrary make_default();
+
+  /// Reassemble a library from explicit parts (the snapshot-restore path).
+  /// Type ids equal positions in `types`; combinational/register groupings
+  /// are re-derived, so a restored library answers every query identically
+  /// to the one that was saved.
+  static CellLibrary from_parts(std::vector<CellType> types, double wire_res_kohm_per_dbu,
+                                double wire_cap_pf_per_dbu, double via_res_kohm);
 
   int find(const std::string& name) const;  ///< -1 if absent
   const CellType& type(int id) const { return types_[static_cast<std::size_t>(id)]; }

@@ -69,6 +69,11 @@ struct DesignStats {
   long long num_endpoints = 0;   ///< register D pins + primary outputs
 };
 
+/// Defined by the snapshot codec (src/db/codecs.cpp): restores a Design's
+/// object vectors verbatim, bypassing the incremental construction API so
+/// pin/net/cell ids round-trip bit-exactly. Restorers must call validate().
+struct DesignSnapshotAccess;
+
 class Design {
  public:
   Design(std::string name, const CellLibrary* library)
@@ -137,6 +142,8 @@ class Design {
   void validate() const;
 
  private:
+  friend struct DesignSnapshotAccess;
+
   int add_pin(Pin p);
 
   std::string name_;

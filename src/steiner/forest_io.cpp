@@ -1,8 +1,16 @@
 #include "steiner/forest_io.hpp"
 
+#include <cmath>
 #include <fstream>
 
 namespace tsteiner {
+
+namespace {
+// Upper bound on any count read from a forest file. Generous for real designs
+// (the paper's largest has ~2M nets) while keeping a corrupted or malicious
+// count from driving a multi-gigabyte reserve before parsing fails.
+constexpr std::size_t kMaxForestCount = 50'000'000;
+}  // namespace
 
 void write_forest(const SteinerForest& forest, std::ostream& out) {
   out << "tsteiner-forest-v1\n";
@@ -35,6 +43,7 @@ std::optional<SteinerForest> read_forest(std::istream& in) {
   std::size_t num_nets = 0, num_trees = 0;
   if (!(in >> key >> num_nets) || key != "nets") return std::nullopt;
   if (!(in >> key >> num_trees) || key != "trees") return std::nullopt;
+  if (num_nets > kMaxForestCount || num_trees > num_nets) return std::nullopt;
 
   SteinerForest f;
   f.net_to_tree.assign(num_nets, -1);
@@ -44,6 +53,9 @@ std::optional<SteinerForest> read_forest(std::istream& in) {
     std::size_t nodes = 0, edges = 0;
     if (!(in >> key >> net >> driver >> nodes >> edges) || key != "tree") return std::nullopt;
     if (net < 0 || net >= static_cast<int>(num_nets)) return std::nullopt;
+    if (f.net_to_tree[static_cast<std::size_t>(net)] != -1) return std::nullopt;
+    if (nodes > kMaxForestCount || edges > kMaxForestCount) return std::nullopt;
+    if (driver < 0 || driver >= static_cast<int>(nodes)) return std::nullopt;
     SteinerTree tree;
     tree.net = net;
     tree.driver_node = driver;
@@ -51,6 +63,8 @@ std::optional<SteinerForest> read_forest(std::istream& in) {
     for (std::size_t n = 0; n < nodes; ++n) {
       SteinerNode node;
       if (!(in >> node.pin >> node.pos.x >> node.pos.y)) return std::nullopt;
+      if (node.pin < -1) return std::nullopt;
+      if (!std::isfinite(node.pos.x) || !std::isfinite(node.pos.y)) return std::nullopt;
       tree.nodes.push_back(node);
     }
     tree.edges.reserve(edges);

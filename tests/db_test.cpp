@@ -1,0 +1,469 @@
+// TSteinerDB container, codec, and snapshot-restore coverage: CRC vectors,
+// byte-level round-trips, corruption/truncation rejection, and field-for-field
+// equality of restored libraries, designs, forests, models and suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "db/bytes.hpp"
+#include "db/codecs.hpp"
+#include "db/container.hpp"
+#include "db/crc32.hpp"
+#include "flow/experiment.hpp"
+#include "flow/snapshot.hpp"
+#include "gnn/serialize.hpp"
+#include "netlist/design_generator.hpp"
+#include "place/placer.hpp"
+#include "steiner/forest_io.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::make_default();
+  return l;
+}
+
+Design make_design(std::uint64_t seed) {
+  GeneratorParams p;
+  p.num_comb_cells = 150;
+  p.num_registers = 16;
+  p.num_primary_inputs = 4;
+  p.num_primary_outputs = 4;
+  p.seed = seed;
+  Design d = generate_design(lib(), p);
+  place_design(d);
+  d.set_clock_period(2.71828);
+  return d;
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The standard IEEE 802.3 check value, same as zlib's crc32().
+  const char* msg = "123456789";
+  EXPECT_EQ(db::crc32(reinterpret_cast<const std::uint8_t*>(msg), 9), 0xCBF43926u);
+  EXPECT_EQ(db::crc32(nullptr, 0), 0u);
+}
+
+TEST(Bytes, RoundTripAllPrimitives) {
+  db::ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(-0.1234567890123456789);
+  w.str("hello");
+  w.f64_vec({1.5, -2.5, 3.25});
+  w.i32_vec({7, -8, 9});
+
+  db::ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.1234567890123456789);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.5, -2.5, 3.25}));
+  EXPECT_EQ(r.i32_vec(), (std::vector<int>{7, -8, 9}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, UnderrunLatchesNotOk) {
+  db::ByteWriter w;
+  w.u32(7);
+  db::ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // stays latched
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Bytes, OversizedLengthPrefixRejectedBeforeAllocation) {
+  db::ByteWriter w;
+  w.u64(0xFFFFFFFFFFFFull);  // vector "length" far beyond the payload
+  db::ByteReader r(w.bytes());
+  EXPECT_TRUE(r.f64_vec().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Container, WriteReadRoundTrip) {
+  const std::string path = temp_path("container_rt.tsdb");
+  db::DbWriter writer;
+  ASSERT_TRUE(writer.open(path));
+  ASSERT_TRUE(writer.add_chunk(db::kChunkMeta, {1, 2, 3}));
+  ASSERT_TRUE(writer.add_chunk(db::kChunkForest, {}));
+  ASSERT_TRUE(writer.add_chunk(db::kChunkForest, {9, 8, 7, 6}));
+  ASSERT_TRUE(writer.finish());
+
+  db::DbReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.open(path, &error)) << error;
+  EXPECT_EQ(reader.version(), db::kFormatVersion);
+  ASSERT_EQ(reader.chunks().size(), 3u);
+  const db::ChunkInfo* meta = reader.find(db::kChunkMeta);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->size, 3u);
+  EXPECT_EQ(reader.payload(*meta)[2], 3);
+  EXPECT_EQ(reader.find_all(db::kChunkForest).size(), 2u);
+  EXPECT_EQ(reader.find(db::kChunkModel), nullptr);
+}
+
+TEST(Container, BitFlipTriggersCrcRejection) {
+  const std::string path = temp_path("container_flip.tsdb");
+  db::DbWriter writer;
+  ASSERT_TRUE(writer.open(path));
+  ASSERT_TRUE(writer.add_chunk(db::kChunkForest, {10, 20, 30, 40, 50}));
+  ASSERT_TRUE(writer.finish());
+
+  std::vector<std::uint8_t> bytes = read_file(path);
+  // Flip one bit inside the payload (last 5 bytes before the FEND chunk
+  // header are the payload).
+  bytes[bytes.size() - 16 - 3] ^= 0x04;
+  write_file(path, bytes);
+
+  db::DbReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.open(path, &error));
+  EXPECT_NE(error.find("CRC mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("FRST"), std::string::npos) << error;
+}
+
+TEST(Container, TruncationFailsCleanly) {
+  const std::string path = temp_path("container_trunc.tsdb");
+  db::DbWriter writer;
+  ASSERT_TRUE(writer.open(path));
+  ASSERT_TRUE(writer.add_chunk(db::kChunkForest, {1, 2, 3, 4, 5, 6, 7, 8}));
+  ASSERT_TRUE(writer.finish());
+  const std::vector<std::uint8_t> bytes = read_file(path);
+
+  // Every proper prefix must be rejected without crashing.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{11},
+                           std::size_t{20}, bytes.size() - 16, bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    write_file(path, cut);
+    db::DbReader reader;
+    std::string error;
+    EXPECT_FALSE(reader.open(path, &error)) << "prefix of " << keep << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+  // Truncating exactly at a chunk boundary (removing FEND) is also caught.
+  std::vector<std::uint8_t> no_end(bytes.begin(), bytes.end() - 16);
+  write_file(path, no_end);
+  db::DbReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.open(path, &error));
+  EXPECT_NE(error.find("end chunk"), std::string::npos) << error;
+}
+
+TEST(Container, RejectsBadMagicAndVersion) {
+  const std::string path = temp_path("container_magic.tsdb");
+  write_file(path, {'N', 'O', 'P', 'E', 1, 0, 0, 0, 0, 0, 0, 0});
+  db::DbReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.open(path, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  write_file(path, {'T', 'S', 'D', 'B', 99, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_FALSE(reader.open(path, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(Codecs, LibraryRoundTripFieldForField) {
+  const std::vector<std::uint8_t> bytes = db::encode_library(lib());
+  const auto loaded = db::decode_library(bytes.data(), bytes.size());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_types(), lib().num_types());
+  EXPECT_DOUBLE_EQ(loaded->wire_res_kohm_per_dbu(), lib().wire_res_kohm_per_dbu());
+  EXPECT_DOUBLE_EQ(loaded->wire_cap_pf_per_dbu(), lib().wire_cap_pf_per_dbu());
+  EXPECT_DOUBLE_EQ(loaded->via_res_kohm(), lib().via_res_kohm());
+  for (int t = 0; t < lib().num_types(); ++t) {
+    const CellType& a = lib().type(t);
+    const CellType& b = loaded->type(t);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.num_inputs, b.num_inputs);
+    EXPECT_EQ(a.is_register, b.is_register);
+    EXPECT_DOUBLE_EQ(a.area, b.area);
+    ASSERT_EQ(a.arcs.size(), b.arcs.size());
+    for (std::size_t i = 0; i < a.arcs.size(); ++i) {
+      EXPECT_EQ(a.arcs[i].from_input, b.arcs[i].from_input);
+      EXPECT_EQ(a.arcs[i].delay.values(), b.arcs[i].delay.values());
+      EXPECT_EQ(a.arcs[i].out_slew.values(), b.arcs[i].out_slew.values());
+    }
+  }
+  EXPECT_EQ(db::library_fingerprint(*loaded), db::library_fingerprint(lib()));
+  // Any bit of payload damage must be caught by the decoder or change the
+  // fingerprint.
+  std::vector<std::uint8_t> bad = bytes;
+  bad.resize(bad.size() / 2);
+  EXPECT_FALSE(db::decode_library(bad.data(), bad.size()).has_value());
+}
+
+TEST(Codecs, DesignRoundTripFieldForField) {
+  const Design d = make_design(91);
+  BenchmarkSpec spec;
+  spec.name = "db_test_design";
+  spec.target_cells = 150;
+  spec.endpoints = 20;
+  spec.is_training = true;
+  spec.seed = 91;
+  const std::vector<std::uint8_t> bytes = db::encode_design(spec, d);
+  const auto loaded = db::decode_design(bytes.data(), bytes.size(), lib());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->spec.name, spec.name);
+  EXPECT_EQ(loaded->spec.target_cells, spec.target_cells);
+  EXPECT_EQ(loaded->spec.endpoints, spec.endpoints);
+  EXPECT_EQ(loaded->spec.is_training, spec.is_training);
+  EXPECT_EQ(loaded->spec.seed, spec.seed);
+
+  const Design& e = loaded->design;
+  EXPECT_EQ(e.name(), d.name());
+  EXPECT_EQ(e.die(), d.die());
+  EXPECT_DOUBLE_EQ(e.clock_period(), d.clock_period());
+  ASSERT_EQ(e.cells().size(), d.cells().size());
+  ASSERT_EQ(e.pins().size(), d.pins().size());
+  ASSERT_EQ(e.nets().size(), d.nets().size());
+  for (std::size_t i = 0; i < d.cells().size(); ++i) {
+    EXPECT_EQ(e.cells()[i].type, d.cells()[i].type);
+    EXPECT_EQ(e.cells()[i].pos, d.cells()[i].pos);
+  }
+  for (std::size_t i = 0; i < d.pins().size(); ++i) {
+    EXPECT_EQ(e.pins()[i].kind, d.pins()[i].kind);
+    EXPECT_EQ(e.pins()[i].cell, d.pins()[i].cell);
+    EXPECT_EQ(e.pins()[i].net, d.pins()[i].net);
+    EXPECT_EQ(e.pins()[i].input_slot, d.pins()[i].input_slot);
+    EXPECT_EQ(e.pins()[i].port_pos, d.pins()[i].port_pos);
+  }
+  for (std::size_t i = 0; i < d.nets().size(); ++i) {
+    EXPECT_EQ(e.nets()[i].driver_pin, d.nets()[i].driver_pin);
+    EXPECT_EQ(e.nets()[i].sink_pins, d.nets()[i].sink_pins);
+  }
+  // Truncated payloads are rejected, not crashed on.
+  for (std::size_t keep : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(db::decode_design(bytes.data(), keep, lib()).has_value());
+  }
+}
+
+TEST(Codecs, ForestRoundTripAndRejection) {
+  const Design d = make_design(92);
+  SteinerForest f = build_forest(d);
+  for (SteinerTree& t : f.trees) {
+    for (SteinerNode& n : t.nodes) {
+      if (n.is_steiner()) n.pos.y += 0.987654321012345;
+    }
+  }
+  const std::vector<std::uint8_t> bytes = db::encode_forest(f);
+  const auto loaded = db::decode_forest(bytes.data(), bytes.size());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->net_to_tree, f.net_to_tree);
+  EXPECT_EQ(loaded->num_movable(), f.num_movable());
+  ASSERT_EQ(loaded->trees.size(), f.trees.size());
+  for (std::size_t t = 0; t < f.trees.size(); ++t) {
+    const SteinerTree& a = f.trees[t];
+    const SteinerTree& b = loaded->trees[t];
+    EXPECT_EQ(a.net, b.net);
+    EXPECT_EQ(a.driver_node, b.driver_node);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+      EXPECT_EQ(a.nodes[n].pin, b.nodes[n].pin);
+      EXPECT_DOUBLE_EQ(a.nodes[n].pos.x, b.nodes[n].pos.x);
+      EXPECT_DOUBLE_EQ(a.nodes[n].pos.y, b.nodes[n].pos.y);
+    }
+    for (std::size_t e = 0; e < a.edges.size(); ++e) {
+      EXPECT_EQ(a.edges[e].a, b.edges[e].a);
+      EXPECT_EQ(a.edges[e].b, b.edges[e].b);
+    }
+  }
+  for (std::size_t keep : {std::size_t{0}, bytes.size() / 3, bytes.size() - 2}) {
+    EXPECT_FALSE(db::decode_forest(bytes.data(), keep).has_value());
+  }
+}
+
+TEST(ForestIo, TextReaderRejectsHostileInput) {
+  // Non-finite coordinate.
+  std::stringstream nan_coord(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 0 2 1\n0 nan 0\n1 5 5\n0 1\n");
+  EXPECT_FALSE(read_forest(nan_coord).has_value());
+  std::stringstream inf_coord(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 0 2 1\n0 inf 0\n1 5 5\n0 1\n");
+  EXPECT_FALSE(read_forest(inf_coord).has_value());
+  // Pin id below -1.
+  std::stringstream bad_pin(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 0 2 1\n-7 0 0\n1 5 5\n0 1\n");
+  EXPECT_FALSE(read_forest(bad_pin).has_value());
+  // Driver node out of range.
+  std::stringstream bad_driver(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 5 2 1\n0 0 0\n1 5 5\n0 1\n");
+  EXPECT_FALSE(read_forest(bad_driver).has_value());
+  // Absurd counts must fail before any large allocation.
+  std::stringstream huge_nets("tsteiner-forest-v1\nnets 99999999999 trees 1\n");
+  EXPECT_FALSE(read_forest(huge_nets).has_value());
+  std::stringstream huge_nodes(
+      "tsteiner-forest-v1\nnets 1\ntrees 1\ntree 0 0 99999999999 0\n");
+  EXPECT_FALSE(read_forest(huge_nodes).has_value());
+  // Two trees claiming the same net.
+  std::stringstream dup_net(
+      "tsteiner-forest-v1\nnets 1\ntrees 2\n"
+      "tree 0 0 1 0\n0 0 0\n"
+      "tree 0 0 1 0\n0 1 1\n");
+  EXPECT_FALSE(read_forest(dup_net).has_value());
+}
+
+TEST(ModelSerialize, ContainerRoundTripAndMismatchRejection) {
+  GnnConfig cfg;
+  cfg.hidden = 12;
+  cfg.type_embed = 6;
+  TimingGnn model(cfg, lib().num_types());
+  const std::string path = temp_path("model_rt.tsdb");
+  ASSERT_TRUE(save_model(model, path, "tag-a"));
+
+  const auto loaded = load_model(path, cfg, lib().num_types(), "tag-a");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->parameters().size(), model.parameters().size());
+  for (std::size_t p = 0; p < model.parameters().size(); ++p) {
+    const Tensor& a = model.parameters()[p];
+    const Tensor& b = loaded->parameters()[p];
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+
+  // Wrong tag or wrong architecture must be rejected.
+  EXPECT_FALSE(load_model(path, cfg, lib().num_types(), "tag-b").has_value());
+  GnnConfig other = cfg;
+  other.hidden = 16;
+  EXPECT_FALSE(load_model(path, other, lib().num_types(), "tag-a").has_value());
+
+  // Corrupt the file: the container CRC catches it.
+  std::vector<std::uint8_t> bytes = read_file(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  write_file(path, bytes);
+  EXPECT_FALSE(load_model(path, cfg, lib().num_types(), "tag-a").has_value());
+}
+
+TEST(ModelSerialize, LegacyTextFallbackStillLoads) {
+  GnnConfig cfg;
+  cfg.hidden = 10;
+  TimingGnn model(cfg, lib().num_types());
+  const std::string path = temp_path("model_legacy.txt");
+  ASSERT_TRUE(save_model_text(model, path, "legacy-tag"));
+  const auto loaded = load_model(path, cfg, lib().num_types(), "legacy-tag");
+  ASSERT_TRUE(loaded.has_value());
+  for (std::size_t p = 0; p < model.parameters().size(); ++p) {
+    const Tensor& a = model.parameters()[p];
+    const Tensor& b = loaded->parameters()[p];
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-12);  // text round-trip, %.17g precision
+    }
+  }
+  EXPECT_FALSE(load_model(path, cfg, lib().num_types(), "other-tag").has_value());
+}
+
+TEST(Snapshot, DesignSnapshotReproducesSignoffBitExactly) {
+  BenchmarkSpec spec;
+  spec.name = "snap_design";
+  spec.target_cells = 400;
+  spec.endpoints = 40;
+  spec.seed = 7;
+  const std::string path = temp_path("design_snap.tsdb");
+  std::remove(path.c_str());
+
+  FlowOptions fopts;
+  PreparedDesign cold = prepare_design(lib(), spec, 1.0, fopts, path);
+  ASSERT_NE(cold.design, nullptr);
+  PreparedDesign warm = prepare_design(lib(), spec, 1.0, fopts, path);
+  ASSERT_NE(warm.design, nullptr);
+
+  EXPECT_EQ(warm.design->cells().size(), cold.design->cells().size());
+  EXPECT_DOUBLE_EQ(warm.design->clock_period(), cold.design->clock_period());
+  const FlowResult a = cold.flow->run_signoff(cold.flow->initial_forest());
+  const FlowResult b = warm.flow->run_signoff(warm.flow->initial_forest());
+  EXPECT_EQ(std::memcmp(&a.metrics, &b.metrics, sizeof(a.metrics)), 0);
+  EXPECT_DOUBLE_EQ(a.sta.wns, b.sta.wns);
+  EXPECT_DOUBLE_EQ(a.sta.tns, b.sta.tns);
+}
+
+TEST(Snapshot, SuiteRoundTripRestoresEverything) {
+  SuiteOptions options;
+  options.scale = 0.05;
+
+  TrainedSuite suite;
+  suite.lib = std::make_unique<CellLibrary>(CellLibrary::make_default());
+  BenchmarkSpec spec;
+  spec.name = "snap_suite_0";
+  spec.target_cells = 300;
+  spec.endpoints = 30;
+  spec.is_training = true;
+  spec.seed = 11;
+  suite.designs.push_back(prepare_design(*suite.lib, spec, 1.0, options.flow));
+  spec.name = "snap_suite_1";
+  spec.seed = 12;
+  suite.designs.push_back(prepare_design(*suite.lib, spec, 1.0, options.flow));
+  for (PreparedDesign& pd : suite.designs) {
+    suite.base_samples.push_back(make_training_sample(pd, pd.flow->initial_forest()));
+  }
+  suite.model = std::make_unique<TimingGnn>(options.gnn, suite.lib->num_types());
+  suite.final_train_loss = 0.042;
+
+  const std::string path = temp_path("suite_snap.tsdb");
+  ASSERT_TRUE(save_suite_snapshot(suite, options, path));
+
+  const auto warm = load_suite_snapshot(path, options);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_DOUBLE_EQ(warm->final_train_loss, suite.final_train_loss);
+  ASSERT_EQ(warm->designs.size(), suite.designs.size());
+  ASSERT_EQ(warm->base_samples.size(), suite.base_samples.size());
+  ASSERT_NE(warm->model, nullptr);
+
+  for (std::size_t i = 0; i < suite.designs.size(); ++i) {
+    const PreparedDesign& a = suite.designs[i];
+    const PreparedDesign& b = warm->designs[i];
+    EXPECT_EQ(b.spec.name, a.spec.name);
+    // Labels are bit-identical, not re-derived.
+    EXPECT_EQ(warm->base_samples[i].arrival_label, suite.base_samples[i].arrival_label);
+    EXPECT_EQ(warm->base_samples[i].xs, suite.base_samples[i].xs);
+    EXPECT_EQ(warm->base_samples[i].endpoint_pins, suite.base_samples[i].endpoint_pins);
+    // And sign-off on the restored flow reproduces cold metrics bit-exactly.
+    const FlowResult ra = a.flow->run_signoff(a.flow->initial_forest());
+    const FlowResult rb = b.flow->run_signoff(b.flow->initial_forest());
+    EXPECT_EQ(std::memcmp(&ra.metrics, &rb.metrics, sizeof(ra.metrics)), 0);
+  }
+  for (std::size_t p = 0; p < suite.model->parameters().size(); ++p) {
+    const Tensor& a = suite.model->parameters()[p];
+    const Tensor& b = warm->model->parameters()[p];
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+
+  // A different options fingerprint must reject the snapshot.
+  SuiteOptions other = options;
+  other.seed += 1;
+  EXPECT_FALSE(load_suite_snapshot(path, other).has_value());
+
+  // And payload corruption must reject it via the container CRC.
+  std::vector<std::uint8_t> bytes = read_file(path);
+  bytes[bytes.size() / 3] ^= 0x01;
+  write_file(path, bytes);
+  EXPECT_FALSE(load_suite_snapshot(path, options).has_value());
+}
+
+}  // namespace
+}  // namespace tsteiner

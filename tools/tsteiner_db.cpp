@@ -1,0 +1,245 @@
+// tsteiner_db: inspect, verify and unpack TSteinerDB snapshot containers.
+//
+//   tsteiner_db info <file>                 header + chunk table + meta summary
+//   tsteiner_db verify <file>               structure, CRCs, and decode probes
+//   tsteiner_db extract <file> <TYPE> <out> [n]
+//                                           nth chunk of TYPE (default 0):
+//                                           FRST decodes to the text forest
+//                                           format, everything else dumps the
+//                                           raw payload bytes
+//
+// verify exits nonzero on any problem, so CI can gate on snapshot health.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/bytes.hpp"
+#include "db/codecs.hpp"
+#include "db/container.hpp"
+#include "steiner/forest_io.hpp"
+
+namespace {
+
+using tsteiner::db::ByteReader;
+using tsteiner::db::ChunkInfo;
+using tsteiner::db::DbReader;
+
+struct MetaView {
+  std::string kind;
+  std::string tag;
+  std::uint32_t design_count = 0;
+  bool has_model = false;
+  double final_train_loss = 0.0;
+  std::uint32_t library_fingerprint = 0;
+  bool ok = false;
+};
+
+// Mirrors the META layout written by flow/snapshot (kind, tag, design count,
+// model flag, final loss, library fingerprint).
+MetaView parse_meta(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  MetaView m;
+  m.kind = r.str();
+  m.tag = r.str();
+  m.design_count = r.u32();
+  m.has_model = r.u8() != 0;
+  m.final_train_loss = r.f64();
+  m.library_fingerprint = r.u32();
+  m.ok = r.done();
+  return m;
+}
+
+int cmd_info(const std::string& path) {
+  DbReader reader;
+  std::string error;
+  if (!reader.open(path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: TSteinerDB format version %u, %zu chunks\n", path.c_str(),
+              reader.version(), reader.chunks().size());
+  std::printf("%-6s %12s %12s %10s\n", "type", "offset", "size", "crc32");
+  for (const ChunkInfo& c : reader.chunks()) {
+    std::printf("%-6s %12llu %12llu   %08X\n", tsteiner::db::fourcc_name(c.type).c_str(),
+                static_cast<unsigned long long>(c.offset),
+                static_cast<unsigned long long>(c.size), c.crc);
+  }
+  if (const ChunkInfo* meta_chunk = reader.find(tsteiner::db::kChunkMeta)) {
+    const MetaView m =
+        parse_meta(reader.payload(*meta_chunk), static_cast<std::size_t>(meta_chunk->size));
+    if (m.ok) {
+      std::printf("meta: kind=%s designs=%u model=%s loss=%.6f libfp=%08X\n", m.kind.c_str(),
+                  m.design_count, m.has_model ? "yes" : "no", m.final_train_loss,
+                  m.library_fingerprint);
+      if (!m.tag.empty()) std::printf("tag:  %s\n", m.tag.c_str());
+    } else {
+      std::printf("meta: (unparseable)\n");
+    }
+  }
+  return 0;
+}
+
+// Decode every chunk whose payload is self-contained. Chunks that need
+// external context to decode (MODL wants the GnnConfig, DSGN wants the cell
+// library when none is embedded) are only CRC/structure-checked by open().
+int cmd_verify(const std::string& path) {
+  DbReader reader;
+  std::string error;
+  if (!reader.open(path, &error)) {
+    std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  int failures = 0;
+  auto fail = [&failures](const char* what) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  };
+
+  const ChunkInfo* meta_chunk = reader.find(tsteiner::db::kChunkMeta);
+  MetaView meta;
+  if (meta_chunk == nullptr) {
+    fail("missing META chunk");
+  } else {
+    meta = parse_meta(reader.payload(*meta_chunk), static_cast<std::size_t>(meta_chunk->size));
+    if (!meta.ok) fail("META chunk does not parse");
+  }
+
+  std::optional<tsteiner::CellLibrary> lib;
+  if (const ChunkInfo* c = reader.find(tsteiner::db::kChunkLibrary)) {
+    lib = tsteiner::db::decode_library(reader.payload(*c), static_cast<std::size_t>(c->size));
+    if (!lib) fail("LIBR chunk does not decode");
+  }
+
+  for (const ChunkInfo* c : reader.find_all(tsteiner::db::kChunkForest)) {
+    if (c->size < 4) {
+      fail("FRST chunk shorter than its index prefix");
+      continue;
+    }
+    if (!tsteiner::db::decode_forest(reader.payload(*c) + 4,
+                                     static_cast<std::size_t>(c->size) - 4)) {
+      fail("FRST chunk does not decode to a valid forest");
+    }
+  }
+  for (const ChunkInfo* c : reader.find_all(tsteiner::db::kChunkDesign)) {
+    if (c->size < 4) {
+      fail("DSGN chunk shorter than its index prefix");
+      continue;
+    }
+    if (lib && !tsteiner::db::decode_design(reader.payload(*c) + 4,
+                                            static_cast<std::size_t>(c->size) - 4, *lib)) {
+      fail("DSGN chunk does not decode against the embedded library");
+    }
+  }
+  for (const ChunkInfo* c : reader.find_all(tsteiner::db::kChunkFlowCal)) {
+    ByteReader r(reader.payload(*c), static_cast<std::size_t>(c->size));
+    r.u32();  // index
+    r.f64();  // clock period
+    r.f64();  // fixed H capacity
+    r.f64();  // fixed V capacity
+    if (!r.done()) fail("FCAL chunk has the wrong size");
+  }
+  for (const ChunkInfo* c : reader.find_all(tsteiner::db::kChunkSample)) {
+    ByteReader r(reader.payload(*c), static_cast<std::size_t>(c->size));
+    r.u32();  // index
+    r.str();  // design name
+    const std::size_t nx = r.f64_vec().size();
+    const std::size_t ny = r.f64_vec().size();
+    r.f64_vec();  // arrival labels
+    r.i32_vec();  // endpoint pins
+    if (!r.done() || nx != ny) fail("SMPL chunk does not parse");
+  }
+
+  if (failures == 0) {
+    std::printf("OK: %s (%zu chunks, all CRCs and decode probes pass)\n", path.c_str(),
+                reader.chunks().size());
+    return 0;
+  }
+  return 1;
+}
+
+int cmd_extract(const std::string& path, const std::string& type_name,
+                const std::string& out_path, int nth) {
+  if (type_name.size() != 4) {
+    std::fprintf(stderr, "error: chunk type must be 4 characters (e.g. FRST)\n");
+    return 2;
+  }
+  char name[5] = {type_name[0], type_name[1], type_name[2], type_name[3], '\0'};
+  const std::uint32_t type = tsteiner::db::fourcc(name);
+
+  DbReader reader;
+  std::string error;
+  if (!reader.open(path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::vector<const ChunkInfo*> matches = reader.find_all(type);
+  if (nth < 0 || static_cast<std::size_t>(nth) >= matches.size()) {
+    std::fprintf(stderr, "error: %s has %zu %s chunk(s), index %d out of range\n",
+                 path.c_str(), matches.size(), type_name.c_str(), nth);
+    return 1;
+  }
+  const ChunkInfo& chunk = *matches[static_cast<std::size_t>(nth)];
+
+  if (type == tsteiner::db::kChunkForest) {
+    if (chunk.size < 4) {
+      std::fprintf(stderr, "error: FRST chunk shorter than its index prefix\n");
+      return 1;
+    }
+    auto forest = tsteiner::db::decode_forest(reader.payload(chunk) + 4,
+                                              static_cast<std::size_t>(chunk.size) - 4);
+    if (!forest) {
+      std::fprintf(stderr, "error: FRST chunk does not decode\n");
+      return 1;
+    }
+    if (!tsteiner::write_forest_file(*forest, out_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (text forest, %zu trees)\n", out_path.c_str(),
+                forest->trees.size());
+    return 0;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::size_t written =
+      std::fwrite(reader.payload(chunk), 1, static_cast<std::size_t>(chunk.size), out);
+  const bool ok = written == chunk.size && std::fclose(out) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "error: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%llu raw payload bytes)\n", out_path.c_str(),
+              static_cast<unsigned long long>(chunk.size));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tsteiner_db info <file>\n"
+               "       tsteiner_db verify <file>\n"
+               "       tsteiner_db extract <file> <TYPE> <out> [n]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  if (cmd == "info") return cmd_info(path);
+  if (cmd == "verify") return cmd_verify(path);
+  if (cmd == "extract") {
+    if (argc < 5) return usage();
+    const int nth = argc > 5 ? std::atoi(argv[5]) : 0;
+    return cmd_extract(path, argv[3], argv[4], nth);
+  }
+  return usage();
+}
