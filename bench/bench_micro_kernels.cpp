@@ -1,6 +1,6 @@
 // Micro-benchmarks (google-benchmark) of the computational kernels under
-// TSteiner: RSMT construction, tape forward/backward, golden STA, and
-// global routing throughput.
+// TSteiner: RSMT construction, tape forward/backward (fresh recording vs
+// retained-program replay), golden STA, and global routing throughput.
 #include <benchmark/benchmark.h>
 
 #include "flow/flow.hpp"
@@ -104,6 +104,63 @@ void BM_EvaluatorBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvaluatorBackward)->Arg(200)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluatorRecord(benchmark::State& state) {
+  Prepared p = prepare(static_cast<int>(state.range(0)));
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  const auto xs = p.forest.gather_x();
+  const auto ys = p.forest.gather_y();
+  PenaltyWeights w;
+  for (auto _ : state) {
+    GradientEvaluator evaluator(model, *p.cache, p.design, xs, ys, w);
+    benchmark::DoNotOptimize(evaluator.program().stats());
+  }
+}
+BENCHMARK(BM_EvaluatorRecord)->Arg(200)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+// NOTE: both replay benches query the evaluator at *unchanged* coordinates,
+// so dirty tracking memoizes the whole forward pass after the first
+// iteration: ReplayGrad measures the pruned backward replay alone (the
+// refinement loop's marginal gradient cost — its gradient call always
+// follows a keep-best evaluation of the same coordinates), and
+// ReplayForward the set_leaf memcmp + metrics path. Use bench_refine_replay
+// for the full moving-coordinates loop.
+void BM_EvaluatorReplayGrad(benchmark::State& state) {
+  Prepared p = prepare(static_cast<int>(state.range(0)));
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  const auto xs = p.forest.gather_x();
+  const auto ys = p.forest.gather_y();
+  PenaltyWeights w;
+  GradientEvaluator evaluator(model, *p.cache, p.design, xs, ys, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.gradients(xs, ys, w));
+  }
+}
+BENCHMARK(BM_EvaluatorReplayGrad)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvaluatorReplayForward(benchmark::State& state) {
+  Prepared p = prepare(static_cast<int>(state.range(0)));
+  GnnConfig cfg;
+  const TimingGnn model(cfg, lib().num_types());
+  const auto xs = p.forest.gather_x();
+  const auto ys = p.forest.gather_y();
+  PenaltyWeights w;
+  GradientEvaluator evaluator(model, *p.cache, p.design, xs, ys, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(xs, ys, w));
+  }
+}
+BENCHMARK(BM_EvaluatorReplayForward)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TapeMatmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

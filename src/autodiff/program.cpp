@@ -1,0 +1,294 @@
+#include "autodiff/program.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace tsteiner {
+
+void TapeProgram::finalize(Value root, const std::vector<Value>& mutable_leaves,
+                           const std::vector<Value>& grad_targets) {
+  if (finalized_) throw std::runtime_error("TapeProgram: already finalized");
+  const std::size_t n = tape_.nodes_.size();
+  if (!root.valid() || static_cast<std::size_t>(root.id) >= n) {
+    throw std::runtime_error("TapeProgram: invalid root");
+  }
+  if (tape_.value(root).size() != 1) {
+    throw std::runtime_error("TapeProgram: root must be scalar");
+  }
+  root_ = root;
+
+  // Dirty groups: one bit per mutable leaf (leaves past 64 share the last
+  // bit — conservative, never skips a dirty op).
+  mutable_leaf_.assign(n, 0);
+  leaf_group_.assign(n, 0);
+  std::uint64_t next_group = 0;
+  for (Value v : mutable_leaves) {
+    if (!v.valid() || static_cast<std::size_t>(v.id) >= n ||
+        !tape_.is_leaf(static_cast<std::size_t>(v.id))) {
+      throw std::runtime_error("TapeProgram: mutable handle is not a leaf");
+    }
+    mutable_leaf_[static_cast<std::size_t>(v.id)] = 1;
+    leaf_group_[static_cast<std::size_t>(v.id)] |=
+        std::uint64_t{1} << std::min<std::uint64_t>(next_group++, 63);
+  }
+
+  // Forward schedule: every op reachable from a mutable leaf, in recording
+  // (= topological) order, tagged with the groups it depends on. Clean ops
+  // keep their record-time values.
+  std::vector<std::uint64_t> node_mask(n, 0);
+  std::vector<int> ins;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tape_.is_leaf(i)) {
+      node_mask[i] = leaf_group_[i];
+      continue;
+    }
+    ins.clear();
+    tape_.append_inputs(i, ins);
+    for (int a : ins) node_mask[i] |= node_mask[static_cast<std::size_t>(a)];
+    if (node_mask[i] != 0) {
+      forward_schedule_.push_back(static_cast<int>(i));
+      forward_mask_.push_back(node_mask[i]);
+    }
+  }
+
+  // Backward pruning. needs_grad: the node lies on a path *to* a gradient
+  // target (bottom-up). An op executes in reverse only when it also lies on
+  // a path *from* the root (top-down) — gradient can actually arrive there.
+  needs_grad_.assign(n, 0);
+  if (grad_targets.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tape_.is_leaf(i) && tape_.nodes_[i].requires_grad) needs_grad_[i] = 1;
+    }
+  } else {
+    for (Value v : grad_targets) {
+      if (!v.valid() || static_cast<std::size_t>(v.id) >= n) {
+        throw std::runtime_error("TapeProgram: invalid gradient target");
+      }
+      needs_grad_[static_cast<std::size_t>(v.id)] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tape_.is_leaf(i) || needs_grad_[i]) continue;
+    ins.clear();
+    tape_.append_inputs(i, ins);
+    for (int a : ins) {
+      if (needs_grad_[static_cast<std::size_t>(a)]) {
+        needs_grad_[i] = 1;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> reach(n, 0);
+  reach[static_cast<std::size_t>(root.id)] = 1;
+  bwd_input_offset_.push_back(0);
+  for (int i = root.id; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (tape_.is_leaf(idx) || !reach[idx] || !needs_grad_[idx]) continue;
+    backward_schedule_.push_back(i);
+    ins.clear();
+    tape_.append_inputs(idx, ins);
+    // The operands this op accumulates into (the kernels' `need` filter uses
+    // the same needs_grad mask). When the kernel writes the operand's whole
+    // gradient tensor, the first accumulation of a replay can assign
+    // `0.0 + x` instead of zero-then-accumulate (bit-identical, see
+    // run_backward); kernels that touch a subset (relu, gather_rows,
+    // segment_max) — or an operand the op uses twice, e.g. mul(x, x) —
+    // fall back to an explicit zeroing just before the op runs.
+    const auto code = tape_.ops_[idx].code;
+    const bool covers_fully = code != Tape::OpCode::kRelu &&
+                              code != Tape::OpCode::kGatherRows &&
+                              code != Tape::OpCode::kSegmentMax;
+    const std::size_t first_j = bwd_inputs_.size();
+    for (int a : ins) {
+      const auto ai = static_cast<std::size_t>(a);
+      if (needs_grad_[ai]) {
+        reach[ai] = 1;
+        bool dup = false;
+        for (std::size_t j = first_j; j < bwd_inputs_.size(); ++j) {
+          if (bwd_inputs_[j] == a) {
+            dup = true;
+            bwd_fresh_ok_[j] = 0;
+          }
+        }
+        bwd_inputs_.push_back(a);
+        bwd_fresh_ok_.push_back(covers_fully && !dup ? 1 : 0);
+      }
+    }
+    bwd_input_offset_.push_back(static_cast<int>(bwd_inputs_.size()));
+  }
+  fresh_.assign(n, 0);
+
+  // Gradient forwarding: where an add/sub/add_scalar/broadcast-add kernel
+  // would hand an operand an exact copy of the op's own gradient, and that
+  // operand receives no other contribution, the copy is pure memory traffic.
+  // Redirect such operands to read the op's (physical) gradient slot
+  // directly and suppress the kernel's write — clearing needs_grad_ for the
+  // operand is safe precisely because this op was its sole contributor. An
+  // op whose needed operands are all forwarded vanishes from the replay
+  // schedule entirely; one kept for a genuine multi-contribution sum still
+  // skips the copy halves. This is the dominant backward saving in the
+  // GNN's add-heavy arrival propagation. Chains collapse because consumers
+  // (higher ids) are processed first, so `redirect_` entries are already
+  // fully resolved when an operand looks one up.
+  {
+    std::vector<int> contrib(n, 0);
+    for (int a : bwd_inputs_) ++contrib[static_cast<std::size_t>(a)];
+    redirect_.assign(n, -1);
+    std::vector<int> sched2, inputs2, off2{0};
+    std::vector<std::uint8_t> fresh2;
+    for (std::size_t k = 0; k < backward_schedule_.size(); ++k) {
+      const int idx = backward_schedule_[k];
+      const auto& op = tape_.ops_[static_cast<std::size_t>(idx)];
+      const Tensor& out = tape_.nodes_[static_cast<std::size_t>(idx)].value;
+      const int jb = bwd_input_offset_[k], je = bwd_input_offset_[k + 1];
+      const int src =
+          redirect_[static_cast<std::size_t>(idx)] >= 0 ? redirect_[static_cast<std::size_t>(idx)] : idx;
+      const bool identity_code =
+          op.code == Tape::OpCode::kAdd || op.code == Tape::OpCode::kSub ||
+          op.code == Tape::OpCode::kAddScalar || op.code == Tape::OpCode::kAddBroadcast;
+      std::size_t kept = 0;
+      for (int j = jb; j < je; ++j) {
+        const auto a = static_cast<std::size_t>(bwd_inputs_[static_cast<std::size_t>(j)]);
+        const Tensor& av = tape_.nodes_[a].value;
+        // Only the first operand of sub / add_scalar / broadcast-add sees
+        // the raw gradient; kAdd passes it to both sides. A duplicated
+        // operand (e.g. add(x, x)) has contrib >= 2 and is never forwarded.
+        const bool forward = identity_code &&
+                             (op.code == Tape::OpCode::kAdd || bwd_inputs_[static_cast<std::size_t>(j)] == op.a) &&
+                             contrib[a] == 1 && av.rows() == out.rows() && av.cols() == out.cols();
+        if (forward) {
+          redirect_[a] = src;
+          needs_grad_[a] = 0;  // sole contributor: no kernel may write this slot now
+        } else {
+          inputs2.push_back(static_cast<int>(a));
+          fresh2.push_back(bwd_fresh_ok_[static_cast<std::size_t>(j)]);
+          ++kept;
+        }
+      }
+      if (kept == 0) continue;  // fully forwarded: the op itself disappears
+      sched2.push_back(idx);
+      src_sched_.push_back(src);
+      off2.push_back(static_cast<int>(inputs2.size()));
+    }
+    backward_schedule_.swap(sched2);
+    bwd_inputs_.swap(inputs2);
+    bwd_input_offset_.swap(off2);
+    bwd_fresh_ok_.swap(fresh2);
+  }
+
+  grad_stamp_.assign(n, std::numeric_limits<std::uint32_t>::max());
+  pending_dirty_ = 0;  // recorded values are current
+  tape_.freeze();
+  finalized_ = true;
+}
+
+void TapeProgram::check_mutable(Value leaf) const {
+  if (!finalized_) return;  // pre-finalize writes are plain leaf updates
+  if (!leaf.valid() || static_cast<std::size_t>(leaf.id) >= mutable_leaf_.size() ||
+      !mutable_leaf_[static_cast<std::size_t>(leaf.id)]) {
+    throw std::runtime_error(
+        "TapeProgram: leaf was not declared mutable at finalize — re-record");
+  }
+}
+
+void TapeProgram::mark_dirty(Value leaf, bool changed) {
+  if (finalized_ && changed) {
+    pending_dirty_ |= leaf_group_[static_cast<std::size_t>(leaf.id)];
+  }
+}
+
+void TapeProgram::set_leaf(Value leaf, const Tensor& t) {
+  check_mutable(leaf);
+  mark_dirty(leaf, tape_.set_leaf(leaf, t));
+}
+
+void TapeProgram::set_leaf(Value leaf, const std::vector<double>& column) {
+  check_mutable(leaf);
+  mark_dirty(leaf, tape_.set_leaf(leaf, column));
+}
+
+void TapeProgram::set_leaf_scalar(Value leaf, double s) {
+  check_mutable(leaf);
+  Tensor& v = tape_.nodes_[static_cast<std::size_t>(leaf.id)].value;
+  if (v.size() != 1) {
+    throw std::runtime_error("TapeProgram: set_leaf_scalar needs a 1x1 leaf");
+  }
+  mark_dirty(leaf, std::memcmp(&v[0], &s, sizeof(double)) != 0);
+  v[0] = s;
+}
+
+void TapeProgram::replay_forward() {
+  if (!finalized_) throw std::runtime_error("TapeProgram: finalize before replay");
+  if (pending_dirty_ == 0) return;
+  for (std::size_t k = 0; k < forward_schedule_.size(); ++k) {
+    if (forward_mask_[k] & pending_dirty_) {
+      tape_.run_forward(static_cast<std::size_t>(forward_schedule_[k]));
+    }
+  }
+  pending_dirty_ = 0;
+}
+
+void TapeProgram::replay_backward() {
+  if (!finalized_) throw std::runtime_error("TapeProgram: finalize before replay");
+  if (++epoch_ == 0) {  // stamp wrap: invalidate everything once per 2^32 replays
+    std::fill(grad_stamp_.begin(), grad_stamp_.end(), std::numeric_limits<std::uint32_t>::max());
+    epoch_ = 1;
+  }
+  const auto root_id = static_cast<std::size_t>(root_.id);
+  tape_.reset_grad(root_id);
+  tape_.grad_ref(root_)[0] = 1.0;
+  grad_stamp_[root_id] = epoch_;
+  // Same descending walk and same has-gradient early-out as Tape::backward,
+  // restricted to the ops gradient can actually cross. A slot whose stamp is
+  // stale has had no contribution this replay — logically zero, exactly the
+  // freshly allocated buffer the one-shot backward would see.
+  for (std::size_t k = 0; k < backward_schedule_.size(); ++k) {
+    const auto idx = static_cast<std::size_t>(backward_schedule_[k]);
+    // Where this op's incoming gradient physically lives: its own slot, or a
+    // higher op's slot when every copy between them was forwarded away.
+    const auto src = static_cast<std::size_t>(src_sched_[k]);
+    if (grad_stamp_[src] != epoch_) continue;
+    if (!tape_.grad_nonzero(src)) continue;
+    const int jb = bwd_input_offset_[k], je = bwd_input_offset_[k + 1];
+    bool any_fresh = false;
+    for (int j = jb; j < je; ++j) {
+      const auto a = static_cast<std::size_t>(bwd_inputs_[static_cast<std::size_t>(j)]);
+      if (grad_stamp_[a] != epoch_) {
+        grad_stamp_[a] = epoch_;
+        if (bwd_fresh_ok_[static_cast<std::size_t>(j)]) {
+          fresh_[a] = 1;  // kernel fully writes the slot: no zeroing needed
+          any_fresh = true;
+        } else {
+          tape_.reset_grad(a);
+        }
+      }
+    }
+    tape_.run_backward(idx, &needs_grad_, any_fresh ? &fresh_ : nullptr,
+                       src == idx ? -1 : static_cast<int>(src));
+    if (any_fresh) {
+      for (int j = jb; j < je; ++j) {
+        fresh_[static_cast<std::size_t>(bwd_inputs_[static_cast<std::size_t>(j)])] = 0;
+      }
+    }
+  }
+}
+
+const Tensor& TapeProgram::grad(Value v) {
+  if (finalized_ && v.valid() && static_cast<std::size_t>(v.id) < grad_stamp_.size()) {
+    const auto id = static_cast<std::size_t>(v.id);
+    // A forwarded node's gradient lives in the slot it was redirected to.
+    if (redirect_[id] >= 0 && grad_stamp_[static_cast<std::size_t>(redirect_[id])] == epoch_) {
+      return tape_.grad(Value{redirect_[id]});
+    }
+    if (grad_stamp_[id] != epoch_) {  // untouched this replay: reads as zeros
+      tape_.reset_grad(id);
+      grad_stamp_[id] = epoch_;
+    }
+  }
+  return tape_.grad(v);
+}
+
+}  // namespace tsteiner

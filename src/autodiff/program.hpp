@@ -1,0 +1,112 @@
+// Retained autodiff execution: record the graph once, replay it in place.
+//
+// The refinement loop (Algorithm 1) evaluates the same penalty graph dozens
+// of times per (design, forest) pair; only the Steiner coordinate leaves and
+// the lambda weights change between iterations. TapeProgram wraps a Tape,
+// freezes it after recording, and precomputes two schedules:
+//
+//  * a forward schedule — the ops downstream of the declared mutable leaves
+//    (everything else keeps its record-time value). Each mutable leaf gets a
+//    dirty-group bit and each scheduled op the OR of the groups it depends
+//    on, so a replay re-executes only ops downstream of leaves whose bytes
+//    actually changed since the last replay (set_leaf compares before
+//    copying). In the refinement loop this makes the gradient call after a
+//    keep-best evaluation of the same coordinates skip the whole forward,
+//    and a lambda-only change replay just the final penalty combination.
+//  * a backward schedule — the ops through which gradient can flow from the
+//    root to the declared gradient targets, with a per-node mask so kernels
+//    skip operand gradients nobody asked for (e.g. the GNN weight halves of
+//    every matmul). Two memory-traffic optimizations keep replayed results
+//    bit-identical while avoiding most gradient-arena passes: gradient
+//    slots are never cleared wholesale (each slot is epoch-stamped, and the
+//    first accumulation of a replay writes `0.0 + x` without reading the
+//    destination), and identity pass-through ops — an add whose operands
+//    receive no other contribution — are dropped from the schedule
+//    entirely, their operands' gradients *forwarded* to the op's own slot
+//    instead of copied (the dominant backward cost in the GNN's
+//    add-heavy arrival propagation).
+//
+// replay_forward()/replay_backward() re-execute those schedules with the
+// *same* switch kernels the eager recording used, over the same
+// preallocated buffers: results are bit-identical to re-recording a fresh
+// tape at the new leaf values, at any thread-pool width, with zero
+// steady-state heap allocation (see docs/autodiff.md).
+#pragma once
+
+#include <vector>
+
+#include "autodiff/tape.hpp"
+
+namespace tsteiner {
+
+class TapeProgram {
+ public:
+  /// The tape to record into. Recording after finalize() throws.
+  Tape& tape() { return tape_; }
+  const Tape& tape() const { return tape_; }
+
+  /// Freeze the recording and compile the replay schedules.
+  ///  * `root` — the scalar node replay_backward() seeds with gradient 1;
+  ///  * `mutable_leaves` — the leaves set_leaf() may overwrite between
+  ///    replays (the forward schedule covers exactly their descendants);
+  ///  * `grad_targets` — the leaves whose gradients replay_backward() must
+  ///    produce; empty means every requires_grad leaf.
+  void finalize(Value root, const std::vector<Value>& mutable_leaves,
+                const std::vector<Value>& grad_targets = {});
+  bool finalized() const { return finalized_; }
+  Value root() const { return root_; }
+
+  /// Overwrite a mutable leaf in place. Throws if the leaf was not declared
+  /// mutable at finalize() or the shape differs from the recorded one (a
+  /// topology change invalidates the program — re-record). Writing bytes
+  /// identical to the stored ones leaves the leaf's dirty group clean.
+  void set_leaf(Value leaf, const Tensor& t);
+  void set_leaf(Value leaf, const std::vector<double>& column);
+  void set_leaf_scalar(Value leaf, double s);
+
+  /// Re-execute the ops downstream of the mutable leaves whose values
+  /// changed since the last replay, in recording order. Values of untouched
+  /// ops are preserved (bitwise-equal inputs produce bitwise-equal outputs,
+  /// so skipping clean ops cannot change the result).
+  void replay_forward();
+  /// Seed the root with gradient 1 and run the pruned reverse schedule,
+  /// zeroing each live gradient slot just before its first accumulation.
+  /// Gradients of the declared targets match a full Tape::backward() on a
+  /// freshly recorded tape bit-for-bit.
+  void replay_backward();
+
+  const Tensor& value(Value v) const { return tape_.value(v); }
+  /// Gradient after the last replay_backward(); slots no gradient reached
+  /// this replay read as zeros (matching a fresh tape's untouched buffers).
+  const Tensor& grad(Value v);
+
+  Tape::Stats stats() const { return tape_.stats(); }
+  /// Cumulative buffer allocations inside the tape; constant across
+  /// steady-state replays (asserted in tests/replay_test.cpp).
+  std::uint64_t allocation_count() const { return tape_.stats().allocations; }
+
+ private:
+  void check_mutable(Value leaf) const;
+  void mark_dirty(Value leaf, bool changed);
+
+  Tape tape_;
+  Value root_{};
+  bool finalized_ = false;
+  std::vector<std::uint8_t> mutable_leaf_;     // by node id
+  std::vector<std::uint64_t> leaf_group_;      // by node id: dirty-group bit
+  std::uint64_t pending_dirty_ = 0;            // groups changed since last replay
+  std::vector<std::uint8_t> needs_grad_;       // grad reaches a target from here
+  std::vector<int> forward_schedule_;          // mutable-dependent ops, ascending
+  std::vector<std::uint64_t> forward_mask_;    // per scheduled op: groups it depends on
+  std::vector<int> backward_schedule_;         // grad-path ops, descending
+  std::vector<int> src_sched_;                 // physical grad slot per scheduled op
+  std::vector<int> redirect_;                  // by node id: forwarded grad slot, -1 = own
+  std::vector<int> bwd_input_offset_;          // per scheduled op into bwd_inputs_
+  std::vector<int> bwd_inputs_;                // needs_grad operands per scheduled op
+  std::vector<std::uint8_t> bwd_fresh_ok_;     // op fully writes this operand's grad
+  std::vector<std::uint8_t> fresh_;            // by node id: first-touch flag (transient)
+  std::vector<std::uint32_t> grad_stamp_;      // slot cleared/written this epoch?
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace tsteiner

@@ -8,8 +8,15 @@
 // WNS/TNS penalty need: dense linear algebra, pointwise nonlinearities,
 // gather/scatter for message passing, segment reductions for max-style
 // aggregation, and numerically stable Log-Sum-Exp (Eq. 5).
+//
+// Each recorded op is a compact OpRecord (opcode + operand ids + immediates)
+// executed by switch-based forward/backward kernels; the eager builders and
+// TapeProgram's replay run the *same* kernels over the same preallocated
+// value/grad buffers, which is what makes replayed results bit-identical to
+// a freshly recorded tape (see docs/autodiff.md).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -33,6 +40,32 @@ class Tape {
   const Tensor& grad(Value v) const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Pre-size the node/op arenas (e.g. to the node count of a previous
+  /// record of the same graph) so recording does not pay vector growth.
+  void reserve(std::size_t num_nodes);
+
+  /// Arena accounting, reported by the replay bench and asserted by the
+  /// zero-allocation tests. `allocations` counts every tensor/scratch buffer
+  /// the tape has allocated (node values, gradient buffers, segment-max
+  /// argmax scratch); a steady-state replay must not advance it.
+  struct Stats {
+    std::size_t num_nodes = 0;
+    std::size_t num_leaves = 0;
+    std::size_t value_doubles = 0;  ///< forward arena, in doubles
+    std::size_t grad_doubles = 0;   ///< gradient arena currently allocated
+    std::uint64_t allocations = 0;  ///< cumulative buffer allocations
+  };
+  Stats stats() const;
+
+  /// Overwrite a leaf's value in place (no allocation). Throws if v is not a
+  /// leaf or the shape differs from the recorded one — a shape change means
+  /// the graph topology changed and the program must be re-recorded.
+  /// Returns whether the stored bytes actually changed (TapeProgram uses
+  /// this to skip replaying ops whose inputs are bitwise unchanged).
+  bool set_leaf(Value v, const Tensor& t);
+  /// Column-vector convenience for coordinate leaves.
+  bool set_leaf(Value v, const std::vector<double>& column);
 
   // --- elementwise / linear ops -------------------------------------------
   Value add(Value a, Value b);        ///< same shape, or b a 1xC row broadcast
@@ -84,18 +117,88 @@ class Tape {
   void backward(Value root);
 
  private:
+  friend class TapeProgram;
+
+  enum class OpCode : std::uint8_t {
+    kLeaf,
+    kAdd,            // same-shape elementwise
+    kAddBroadcast,   // b is a 1xC row broadcast
+    kSub,
+    kMul,
+    kScale,          // s0 = factor
+    kAddScalar,      // s0 = addend
+    kMatmul,
+    kRelu,
+    kTanh,
+    kSigmoid,
+    kAbs,
+    kSmoothAbs,      // s0 = delta
+    kSoftplus,
+    kConcatCols,     // inputs = parts
+    kGatherRows,     // indices = source rows
+    kScatterAddRows, // indices = destination rows, dim0 = out_rows
+    kSegmentMax,     // indices = segments, dim0 = num_segments, s0 = empty_fill
+    kSumAll,
+    kLogSumExp,      // s0 = gamma; m/z recomputed by every forward
+    kSoftMin0,       // s0 = gamma
+    kMse,            // constant = target
+  };
+
+  struct OpRecord {
+    OpCode code = OpCode::kLeaf;
+    int a = -1;                 ///< first operand node id
+    int b = -1;                 ///< second operand node id (binary ops)
+    double s0 = 0.0;            ///< immediate (scale / gamma / delta / fill)
+    std::size_t dim0 = 0;       ///< out_rows / num_segments
+    std::vector<int> indices;   ///< gather / scatter / segment map
+    std::vector<int> inputs;    ///< concat operands
+    Tensor constant;            ///< mse target
+    // Value-dependent scratch, overwritten by every forward execution and
+    // consumed by the matching backward (preallocated at first execution).
+    std::vector<int> argmax;    ///< segment_max winner rows
+    double m = 0.0;             ///< log_sum_exp max
+    double z = 0.0;             ///< log_sum_exp normalizer
+  };
+
   struct Node {
     Tensor value;
     Tensor grad;
     bool requires_grad = false;  // leaves only; interior nodes always get grad
-    std::function<void(Tape&)> backward_fn;  // null for leaves
   };
 
-  Value make(Tensor value, std::function<void(Tape&)> backward_fn);
+  /// Append a node + record and eagerly execute its forward kernel.
+  Value push(std::size_t rows, std::size_t cols, OpRecord op);
+  /// Recompute node i's value from its operands (same kernel record + replay).
+  void run_forward(std::size_t i);
+  /// Accumulate node i's gradient into its operands. `need` restricts
+  /// accumulation to operand ids with a nonzero entry (nullptr = all).
+  /// `fresh` marks operands whose gradient slot is logically zero but not
+  /// materialized: kernels that fully cover the operand write `0.0 + x`
+  /// instead of reading a zeroed buffer — bit-identical under IEEE (it
+  /// preserves the `0.0 + -0.0 == +0.0` normalization a real accumulation
+  /// performs) while skipping the clear pass and the first read of the
+  /// destination. Only TapeProgram sets it, and never for kernels that
+  /// write a subset of the operand (relu, gather_rows, segment_max).
+  /// `grad_from` >= 0 reads the incoming gradient from that node's slot
+  /// instead of node i's own — TapeProgram points it at the physical slot
+  /// when i's gradient was forwarded through dropped identity ops.
+  void run_backward(std::size_t i, const std::vector<std::uint8_t>* need,
+                    const std::vector<std::uint8_t>* fresh = nullptr, int grad_from = -1);
+  void append_inputs(std::size_t i, std::vector<int>& out) const;
+  bool is_leaf(std::size_t i) const { return ops_[i].code == OpCode::kLeaf; }
+  bool grad_nonzero(std::size_t i) const;
+  /// Allocate-or-zero one node's gradient buffer.
+  void reset_grad(std::size_t i);
+  void check_recordable() const;
+  void freeze() { frozen_ = true; }
+
   Tensor& grad_ref(Value v) { return nodes_[static_cast<std::size_t>(v.id)].grad; }
   void ensure_grad(Value v);
 
   std::vector<Node> nodes_;
+  std::vector<OpRecord> ops_;
+  std::uint64_t allocations_ = 0;
+  bool frozen_ = false;
 };
 
 /// Numeric-vs-analytic gradient check used by the autodiff tests: rebuilds

@@ -57,6 +57,12 @@ class TimingGnn {
   /// Steiner coordinates in DBU, aligned with the forest movable index that
   /// the cache was built from. Returns arrival per pin (num_pins x 1),
   /// normalized by the clock period.
+  ///
+  /// The tape may belong to a TapeProgram: bind() bakes the parameter values
+  /// at record time, and everything forward() records — including the
+  /// per-level index assembly done here on the host — replays without being
+  /// re-executed, so a retained program (tsteiner::GradientEvaluator) pays
+  /// this construction cost exactly once per (design, forest-topology).
   Value forward(Tape& tape, const GraphCache& g, const Bound& bound, Value xs,
                 Value ys) const;
 

@@ -21,6 +21,7 @@ double Trainer::train_epoch(std::span<TrainingSample> samples) {
   for (std::size_t k : order) {
     TrainingSample& s = samples[k];
     Tape tape;
+    tape.reserve(tape_nodes_hint_);
     const TimingGnn::Bound bound = model_->bind(tape);
     const Value xs = tape.leaf(Tensor::column(s.xs));
     const Value ys = tape.leaf(Tensor::column(s.ys));
@@ -57,6 +58,7 @@ double Trainer::train_epoch(std::span<TrainingSample> samples) {
     }
     adam_.step(grads);
     loss_sum += tape.value(loss)[0];
+    tape_nodes_hint_ = std::max(tape_nodes_hint_, tape.num_nodes());
   }
   return samples.empty() ? 0.0 : loss_sum / static_cast<double>(samples.size());
 }
@@ -72,6 +74,7 @@ double Trainer::fit(std::span<TrainingSample> samples) {
 
 std::vector<double> Trainer::predict(const TrainingSample& sample) const {
   Tape tape;
+  tape.reserve(tape_nodes_hint_);
   const TimingGnn::Bound bound = model_->bind(tape);
   const Value xs = tape.leaf(Tensor::column(sample.xs));
   const Value ys = tape.leaf(Tensor::column(sample.ys));
@@ -79,6 +82,7 @@ std::vector<double> Trainer::predict(const TrainingSample& sample) const {
   const Tensor& t = tape.value(pred);
   std::vector<double> out(t.size());
   for (std::size_t i = 0; i < t.size(); ++i) out[i] = t[i] * sample.cache->clock;
+  tape_nodes_hint_ = std::max(tape_nodes_hint_, tape.num_nodes());
   return out;
 }
 

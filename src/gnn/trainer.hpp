@@ -61,6 +61,9 @@ class Trainer {
   TrainOptions opts_;
   Adam adam_;
   Rng rng_;
+  /// Largest tape seen so far; every fresh tape reserves this up front so
+  /// per-sample recording stops paying node-vector reallocation churn.
+  mutable std::size_t tape_nodes_hint_ = 0;
 };
 
 }  // namespace tsteiner

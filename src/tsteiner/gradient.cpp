@@ -1,5 +1,7 @@
 #include "tsteiner/gradient.hpp"
 
+#include <stdexcept>
+
 namespace tsteiner {
 
 namespace {
@@ -43,6 +45,75 @@ GradientResult evaluate_timing(const TimingGnn& model, const GraphCache& cache,
                                const Design& design, const std::vector<double>& xs,
                                const std::vector<double>& ys, const PenaltyWeights& weights) {
   return run(model, cache, design, xs, ys, weights, /*with_backward=*/false);
+}
+
+GradientEvaluator::GradientEvaluator(const TimingGnn& model, const GraphCache& cache,
+                                     const Design& design, const std::vector<double>& xs,
+                                     const std::vector<double>& ys,
+                                     const PenaltyWeights& weights) {
+  Tape& tape = program_.tape();
+  const TimingGnn::Bound bound = model.bind(tape);
+  vx_ = tape.leaf(Tensor::column(xs), /*requires_grad=*/true);
+  vy_ = tape.leaf(Tensor::column(ys), /*requires_grad=*/true);
+  const Value arrival = model.forward(tape, cache, bound, vx_, vy_);
+  const PenaltyTerms terms = build_timing_penalty(tape, cache, design, arrival, weights);
+  lambda_w_ = terms.lambda_w_leaf;
+  lambda_t_ = terms.lambda_t_leaf;
+  slack_ = terms.slack;
+  penalty_ = terms.penalty;
+  clock_ = cache.clock;
+  gamma_ = penalty_gamma(weights, cache.clock);
+  num_movable_ = xs.size();
+  // Only the coordinate and lambda leaves vary between refine iterations;
+  // gradients are needed for the coordinates alone, which lets the reverse
+  // schedule drop the model-parameter halves of every matmul/concat.
+  program_.finalize(penalty_, {vx_, vy_, lambda_w_, lambda_t_}, {vx_, vy_});
+}
+
+GradientResult GradientEvaluator::replay(const std::vector<double>& xs,
+                                         const std::vector<double>& ys,
+                                         const PenaltyWeights& weights, bool with_backward) {
+  if (xs.size() != num_movable_ || ys.size() != num_movable_) {
+    throw std::runtime_error(
+        "GradientEvaluator: movable-point count changed — the forest topology differs "
+        "from the recorded program, construct a new evaluator");
+  }
+  if (penalty_gamma(weights, clock_) != gamma_) {
+    throw std::runtime_error(
+        "GradientEvaluator: gamma differs from the recorded program — construct a new "
+        "evaluator");
+  }
+  program_.set_leaf(vx_, xs);
+  program_.set_leaf(vy_, ys);
+  program_.set_leaf_scalar(lambda_w_, weights.lambda_w);
+  program_.set_leaf_scalar(lambda_t_, weights.lambda_t);
+  program_.replay_forward();
+
+  GradientResult r;
+  r.penalty = program_.value(penalty_)[0];
+  hard_slack_metrics(program_.value(slack_), clock_, &r.eval_wns_ns, &r.eval_tns_ns);
+  if (with_backward) {
+    program_.replay_backward();
+    const Tensor& gx = program_.grad(vx_);
+    const Tensor& gy = program_.grad(vy_);
+    r.grad_x.assign(xs.size(), 0.0);
+    r.grad_y.assign(ys.size(), 0.0);
+    for (std::size_t i = 0; i < gx.size(); ++i) r.grad_x[i] = gx[i];
+    for (std::size_t i = 0; i < gy.size(); ++i) r.grad_y[i] = gy[i];
+  }
+  return r;
+}
+
+GradientResult GradientEvaluator::gradients(const std::vector<double>& xs,
+                                            const std::vector<double>& ys,
+                                            const PenaltyWeights& weights) {
+  return replay(xs, ys, weights, /*with_backward=*/true);
+}
+
+GradientResult GradientEvaluator::evaluate(const std::vector<double>& xs,
+                                           const std::vector<double>& ys,
+                                           const PenaltyWeights& weights) {
+  return replay(xs, ys, weights, /*with_backward=*/false);
 }
 
 }  // namespace tsteiner

@@ -5,10 +5,19 @@
 // (the paper: "we only set the feature of Steiner nodes' positions as
 // 'gradient required'"), and backward() through the smoothed penalty yields
 // (dP/dX_s, dP/dY_s) per Steiner point.
+//
+// Two execution modes:
+//  * the free functions record a fresh tape per call (tests, one-shot
+//    diagnostics);
+//  * GradientEvaluator records the (design, forest-topology) graph once
+//    into a TapeProgram and replays it in place for every subsequent
+//    (xs, ys, lambda) query — the mode the refinement loop runs in. Replay
+//    results are bit-identical to the fresh-tape path (tests/replay_test).
 #pragma once
 
 #include <vector>
 
+#include "autodiff/program.hpp"
 #include "gnn/model.hpp"
 #include "tsteiner/penalty.hpp"
 
@@ -31,5 +40,44 @@ GradientResult compute_timing_gradients(const TimingGnn& model, const GraphCache
 GradientResult evaluate_timing(const TimingGnn& model, const GraphCache& cache,
                                const Design& design, const std::vector<double>& xs,
                                const std::vector<double>& ys, const PenaltyWeights& weights);
+
+/// Retained evaluator: binds the model, records GNN forward + timing penalty
+/// once for a fixed (design, forest-topology) pair, then answers gradient /
+/// evaluation queries by replaying the program with updated coordinate and
+/// lambda leaves. Zero heap allocation per steady-state query.
+///
+/// The program is only valid for the topology it was recorded on: queries
+/// with a different movable-point count, or weights that resolve to a
+/// different LSE gamma (gamma sits inside the recorded nonlinearities),
+/// throw — callers must construct a new evaluator after a topology change.
+class GradientEvaluator {
+ public:
+  GradientEvaluator(const TimingGnn& model, const GraphCache& cache, const Design& design,
+                    const std::vector<double>& xs, const std::vector<double>& ys,
+                    const PenaltyWeights& weights);
+
+  /// Replayed equivalent of compute_timing_gradients().
+  GradientResult gradients(const std::vector<double>& xs, const std::vector<double>& ys,
+                           const PenaltyWeights& weights);
+  /// Replayed equivalent of evaluate_timing() (forward only).
+  GradientResult evaluate(const std::vector<double>& xs, const std::vector<double>& ys,
+                          const PenaltyWeights& weights);
+
+  /// The underlying program (node counts, allocation counter) for benches
+  /// and tests.
+  const TapeProgram& program() const { return program_; }
+
+ private:
+  GradientResult replay(const std::vector<double>& xs, const std::vector<double>& ys,
+                        const PenaltyWeights& weights, bool with_backward);
+
+  TapeProgram program_;
+  Value vx_{}, vy_{};
+  Value lambda_w_{}, lambda_t_{};
+  Value slack_{}, penalty_{};
+  double clock_ = 1.0;
+  double gamma_ = 0.0;
+  std::size_t num_movable_ = 0;
+};
 
 }  // namespace tsteiner

@@ -31,6 +31,16 @@ struct PenaltyTerms {
   Value penalty;      ///< 1x1, minimize
   Value smooth_wns;   ///< 1x1, clock-normalized
   Value smooth_tns;   ///< 1x1, clock-normalized
+  /// Endpoint slack vector (normalized); hard WNS/TNS are recomputed from
+  /// this node after every replay (hard_slack_metrics).
+  Value slack;
+  /// 1x1 weight leaves. The penalty is add(mul(lambda_w_leaf, smooth_wns),
+  /// mul(lambda_t_leaf, smooth_tns)) so the lambda growth schedule can run
+  /// under a retained program by overwriting the leaves instead of
+  /// re-recording the graph with new scale() constants. The arithmetic is
+  /// bit-identical to the historical scale() form.
+  Value lambda_w_leaf;
+  Value lambda_t_leaf;
   double hard_wns_ns = 0.0;  ///< non-smoothed WNS from the same arrivals
   double hard_tns_ns = 0.0;
 };
@@ -40,5 +50,16 @@ struct PenaltyTerms {
 /// convention: clock - setup at register D pins, clock at POs.
 PenaltyTerms build_timing_penalty(Tape& tape, const GraphCache& cache, const Design& design,
                                   Value arrival, const PenaltyWeights& weights);
+
+/// The LSE temperature actually used for `weights` on a design with this
+/// clock. Gamma is baked into the recorded graph (it sits inside the
+/// nonlinearities), so a retained program must reject weight sets that
+/// resolve to a different gamma.
+double penalty_gamma(const PenaltyWeights& weights, double clock);
+
+/// Hard (non-smoothed) WNS/TNS in ns from a normalized endpoint-slack
+/// tensor. Shared by the recording path and the replay path so both derive
+/// the keep-best metrics with the identical fold.
+void hard_slack_metrics(const Tensor& slack, double clock, double* wns_ns, double* tns_ns);
 
 }  // namespace tsteiner

@@ -2,22 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "tsteiner/gradient.hpp"
 #include "util/log.hpp"
 
 namespace tsteiner {
 
-double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Design& design,
-                      const std::vector<double>& xs, const std::vector<double>& ys,
-                      const PenaltyWeights& weights, double alpha) {
-  const GradientResult g0 = compute_timing_gradients(model, cache, design, xs, ys, weights);
+double adaptive_theta(GradientEvaluator& evaluator, const std::vector<double>& xs,
+                      const std::vector<double>& ys, const PenaltyWeights& weights,
+                      double alpha, const GradientResult& g0) {
   std::vector<double> xs2(xs.size()), ys2(ys.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     xs2[i] = xs[i] + alpha * g0.grad_x[i];
     ys2[i] = ys[i] + alpha * g0.grad_y[i];
   }
-  const GradientResult g1 = compute_timing_gradients(model, cache, design, xs2, ys2, weights);
+  const GradientResult g1 = evaluator.gradients(xs2, ys2, weights);
   double dx2 = 0.0, dg2 = 0.0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     const double ddx = xs[i] - xs2[i];
@@ -29,6 +29,14 @@ double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Des
   }
   if (dg2 <= 1e-24 || dx2 <= 1e-24) return 0.25;  // flat landscape: small safe step
   return std::sqrt(dx2) / std::sqrt(dg2);
+}
+
+double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Design& design,
+                      const std::vector<double>& xs, const std::vector<double>& ys,
+                      const PenaltyWeights& weights, double alpha) {
+  GradientEvaluator evaluator(model, cache, design, xs, ys, weights);
+  const GradientResult g0 = evaluator.gradients(xs, ys, weights);
+  return adaptive_theta(evaluator, xs, ys, weights, alpha, g0);
 }
 
 RefineResult refine_steiner_points(const Design& design, const SteinerForest& initial,
@@ -43,7 +51,18 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
   std::vector<double> ys = result.forest.gather_y();
 
   PenaltyWeights weights = options.weights;
-  const GradientResult init = compute_timing_gradients(model, *cache, design, xs, ys, weights);
+  // Record the retained program once for this (design, forest-topology);
+  // every gradient/evaluation below is an in-place replay of it.
+  std::optional<GradientEvaluator> evaluator;
+  {
+    ScopedTimer timer(result.grad_record);
+    evaluator.emplace(model, *cache, design, xs, ys, weights);
+  }
+  GradientResult init;
+  {
+    ScopedTimer timer(result.grad_replay);
+    init = evaluator->gradients(xs, ys, weights);
+  }
   result.init_wns = init.eval_wns_ns;
   result.init_tns = init.eval_tns_ns;
   double best_wns = init.eval_wns_ns;
@@ -58,9 +77,13 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
       options.max_move_gcells * static_cast<double>(options.gcell_size);
   const double max_step =
       options.max_step_gcells * static_cast<double>(options.gcell_size);
-  double theta = options.use_adaptive_theta
-                     ? adaptive_theta(model, *cache, design, xs, ys, weights, options.alpha)
-                     : options.fixed_theta;
+  // The probe's g(x) is `init` — the same point and weights — so the
+  // historical duplicate gradient evaluation is gone.
+  double theta = options.fixed_theta;
+  if (options.use_adaptive_theta) {
+    ScopedTimer timer(result.grad_replay);
+    theta = adaptive_theta(*evaluator, xs, ys, weights, options.alpha, init);
+  }
   const double step_gain =
       (1.0 - options.so.beta1) / std::sqrt(1.0 - options.so.beta2);
   theta = std::clamp(theta, 1e-3, max_step / std::max(1e-9, step_gain));
@@ -105,12 +128,20 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
       weights.lambda_w *= 1.0 + options.lambda_growth;
       weights.lambda_t *= 1.0 + options.lambda_growth;
     }
-    const GradientResult g = compute_timing_gradients(model, *cache, design, xs, ys, weights);
+    GradientResult g;
+    {
+      ScopedTimer timer(result.grad_replay);
+      g = evaluator->gradients(xs, ys, weights);
+    }
     so.step(xs, g.grad_x, max_step);
     so.step(ys, g.grad_y, max_step);
     clamp_all();
 
-    const GradientResult cur = evaluate_timing(model, *cache, design, xs, ys, weights);
+    GradientResult cur;
+    {
+      ScopedTimer timer(result.grad_replay);
+      cur = evaluator->evaluate(xs, ys, weights);
+    }
     result.wns_trace.push_back(cur.eval_wns_ns);
     result.tns_trace.push_back(cur.eval_tns_ns);
     const double tol_wns = options.accept_tolerance * std::abs(result.init_wns);

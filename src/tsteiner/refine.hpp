@@ -13,8 +13,10 @@
 
 #include "gnn/model.hpp"
 #include "steiner/steiner_tree.hpp"
+#include "tsteiner/gradient.hpp"
 #include "tsteiner/optimizer.hpp"
 #include "tsteiner/penalty.hpp"
+#include "util/timer.hpp"
 
 namespace tsteiner {
 
@@ -65,6 +67,11 @@ struct RefineResult {
   double init_wns = 0.0, init_tns = 0.0;
   double best_wns = 0.0, best_tns = 0.0;
   std::vector<double> wns_trace, tns_trace;
+  /// Runtime split of the gradient work (Table-IV style): one-time program
+  /// recording vs. the per-iteration replays the retained mode reduces the
+  /// loop to.
+  PhaseStat grad_record;
+  PhaseStat grad_replay;
 };
 
 /// Runs Algorithm 1 on a copy of `initial` and returns the refined forest.
@@ -74,7 +81,15 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
                                    const TimingGnn& model, const RefineOptions& options = {});
 
 /// Adaptive stepsize (Eq. 9): theta = |x - x'|_2 / |g(x) - g(x')|_2 with
-/// x' = x + alpha * g(x). Exposed for tests and the stepsize ablation.
+/// x' = x + alpha * g(x). The gradient at x is taken from `g0` (the caller
+/// already has it — refine computes it once and shares it) and the probe
+/// point's gradient comes from a replay of `evaluator`.
+double adaptive_theta(GradientEvaluator& evaluator, const std::vector<double>& xs,
+                      const std::vector<double>& ys, const PenaltyWeights& weights,
+                      double alpha, const GradientResult& g0);
+
+/// One-shot convenience overload (tests, ablations): records a program for
+/// (design, forest-topology) and runs the probe on it.
 double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Design& design,
                       const std::vector<double>& xs, const std::vector<double>& ys,
                       const PenaltyWeights& weights, double alpha);

@@ -74,6 +74,13 @@ struct RuntimeBreakdown {
   PhaseStat detailed_route;
   PhaseStat sta;
 
+  /// Split of the TSteiner phase's gradient work (not additional phases —
+  /// both are part of tsteiner/tsteiner_s and excluded from total()):
+  /// one-time autodiff program recording vs. the per-iteration in-place
+  /// replays of the retained program (src/autodiff/program.hpp).
+  PhaseStat grad_record;
+  PhaseStat grad_replay;
+
   double total() const { return tsteiner_s + global_route_s + detailed_route_s + sta_s; }
 };
 

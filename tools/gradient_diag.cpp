@@ -56,7 +56,10 @@ int main(int argc, char** argv) {
   PenaltyWeights w;
   const auto xs0 = flow.initial_forest().gather_x();
   const auto ys0 = flow.initial_forest().gather_y();
-  const GradientResult g = compute_timing_gradients(model, *cache, design, xs0, ys0, w);
+  // One retained program serves every model query below: the disturbed
+  // variants share the initial forest's topology, so they replay in place.
+  GradientEvaluator evaluator(model, *cache, design, xs0, ys0, w);
+  const GradientResult g = evaluator.gradients(xs0, ys0, w);
   printf("model init eval: WNS %.3f TNS %.1f\n", g.eval_wns_ns, g.eval_tns_ns);
 
   // Normalized descent direction: sign(g) (SO-like step shape), moving only
@@ -94,8 +97,7 @@ int main(int argc, char** argv) {
     for (double step : {4.0, 16.0}) {
       SteinerForest f = move_along(step, quantile);
       const FlowResult fr = flow.run_signoff(f);
-      const GradientResult ev =
-          evaluate_timing(model, *cache, design, f.gather_x(), f.gather_y(), w);
+      const GradientResult ev = evaluator.evaluate(f.gather_x(), f.gather_y(), w);
       std::printf("%-6.0f %-6.2f %-12.3f %-12.1f %-14.3f %-14.1f\n", step, quantile,
                   fr.metrics.wns_ns, fr.metrics.tns_ns, ev.eval_wns_ns, ev.eval_tns_ns);
     }
