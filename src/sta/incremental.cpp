@@ -119,7 +119,15 @@ const StaResult& IncrementalSta::update(const SteinerForest& forest,
     if (ti >= 0) work.insert({ti, cell_id});
   };
 
+  // Callers assembling dirty lists from per-move records routinely repeat a
+  // net (several Steiner points of one tree moved) or include sinkless nets.
+  // Re-extracting a net twice would double-propagate its sinks through the
+  // worklist seeding below, so dedup here; sinkless nets carry no timing.
+  std::vector<std::uint8_t> seen(design_->nets().size(), 0);
   for (int net_id : dirty_nets) {
+    if (seen[static_cast<std::size_t>(net_id)]) continue;
+    seen[static_cast<std::size_t>(net_id)] = 1;
+    if (design_->net(net_id).sink_pins.empty()) continue;
     const int t = forest.net_to_tree[static_cast<std::size_t>(net_id)];
     if (t < 0) continue;
     net_timing_[static_cast<std::size_t>(net_id)] =

@@ -18,4 +18,10 @@ SteinerForest random_disturb(const SteinerForest& forest, const RectI& boundary,
   return out;
 }
 
+SteinerForest random_disturb(const SteinerForest& forest, const RectI& boundary,
+                             double max_dist, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_disturb(forest, boundary, max_dist, rng);
+}
+
 }  // namespace tsteiner

@@ -11,4 +11,10 @@ namespace tsteiner {
 SteinerForest random_disturb(const SteinerForest& forest, const RectI& boundary,
                              double max_dist, Rng& rng);
 
+/// Seeded overload: the disturbance is a pure function of (forest, boundary,
+/// max_dist, seed). Fuzz/verify call sites use this form so a failing case
+/// replays from its printed seed alone, with no ambient Rng stream position.
+SteinerForest random_disturb(const SteinerForest& forest, const RectI& boundary,
+                             double max_dist, std::uint64_t seed);
+
 }  // namespace tsteiner

@@ -2,7 +2,10 @@
 //
 // Every stochastic component of the reproduction (design generation, random
 // Steiner disturbance, model initialization) draws from an explicitly seeded
-// Rng so that benchmark tables are reproducible run-to-run.
+// Rng so that benchmark tables are reproducible run-to-run. The constructor
+// deliberately has no default seed: every stream must be traceable to a
+// caller-chosen 64-bit value, which is what lets the verification harness
+// (src/verify) replay any failing fuzz case from its printed seed alone.
 #pragma once
 
 #include <algorithm>
@@ -14,7 +17,17 @@ namespace tsteiner {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// SplitMix64 mix step: derives decorrelated child seeds from (seed, index)
+  /// pairs — the scheme CaseGen uses so case k of run seed S is always the
+  /// same design, independent of which oracles ran before it.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t index = 0) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
 
   /// Uniform integer in [lo, hi] (inclusive).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {

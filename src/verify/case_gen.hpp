@@ -1,0 +1,64 @@
+// Deterministic fuzz-case generation for the verification subsystem.
+//
+// A FuzzCase — synthetic design, placement, initial Steiner forest, tight
+// clock, disturbance radius — is a pure function of one 64-bit seed plus a
+// named scale, so any failure the DiffHarness finds is replayed from the
+// printed seed alone (no ambient RNG state, no saved inputs required). The
+// greedy shrinker exploits the same property: shrinking is just regenerating
+// the case at reduced generator parameters and re-checking the predicate,
+// which minimizes a failure to a few cells while keeping it a one-line repro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netlist/design_generator.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner::verify {
+
+/// Shared cell library every fuzz case is generated against (the default
+/// synthetic technology; one instance for the process).
+const CellLibrary& fuzz_library();
+
+struct FuzzCase {
+  std::uint64_t seed = 0;   ///< the case seed everything below derives from
+  std::string scale;        ///< "tiny" or "small"
+  GeneratorParams params;   ///< derived from (seed, scale), reduced by shrinking
+  double clock_frac = 0.0;  ///< clock = clock_frac * initial STA max_arrival
+  double disturb_dist = 0.0;  ///< Steiner disturbance radius oracles use (DBU)
+  Design design;
+  SteinerForest forest;       ///< initial RSMT forest for `design`
+
+  long long num_cells() const { return static_cast<long long>(design.cells().size()); }
+};
+
+/// Generator parameters for (seed, scale) — pure, used by make_case and as
+/// the shrinker's starting point. Throws on an unknown scale name.
+GeneratorParams derive_params(std::uint64_t seed, const std::string& scale);
+
+/// Build the complete case for (seed, scale): generate, place, build the
+/// Steiner forest, and set a clock tight enough that endpoints violate.
+FuzzCase make_case(std::uint64_t seed, const std::string& scale);
+
+/// Rebuild a case from explicit (possibly shrunk) parameters. Everything
+/// except the structural sizes in `params` is re-derived from the seed, so
+/// shrunk cases stay seed-replayable given the same parameter reductions.
+FuzzCase make_case_from_params(std::uint64_t seed, const std::string& scale,
+                               const GeneratorParams& params);
+
+/// Greedy shrinker: repeatedly halves the structural generator parameters
+/// (combinational cells, registers, ports) toward their floors, keeping each
+/// reduction only when `still_fails` holds on the regenerated case. Returns
+/// the smallest still-failing case found within `max_attempts` regenerations
+/// (the input case if nothing smaller fails).
+FuzzCase shrink_case(const FuzzCase& failing,
+                     const std::function<bool(const FuzzCase&)>& still_fails,
+                     int max_attempts = 48);
+
+/// Save a standalone TSteinerDB snapshot of the case (META + LIBR + DSGN +
+/// FRST chunks, readable by tools/tsteiner_db info/verify/extract).
+bool save_case_snapshot(const FuzzCase& c, const std::string& path);
+
+}  // namespace tsteiner::verify

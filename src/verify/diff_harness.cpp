@@ -1,0 +1,617 @@
+#include "verify/diff_harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "db/bytes.hpp"
+#include "db/codecs.hpp"
+#include "db/container.hpp"
+#include "gnn/graph_cache.hpp"
+#include "gnn/model.hpp"
+#include "sta/incremental.hpp"
+#include "tsteiner/gradient.hpp"
+#include "tsteiner/penalty.hpp"
+#include "tsteiner/random_move.hpp"
+#include "tsteiner/refine.hpp"
+#include "util/parallel.hpp"
+#include "verify/invariants.hpp"
+
+namespace tsteiner::verify {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) h = (h ^ c) * 1099511628211ull;
+  return h;
+}
+
+bool near(double a, double b, double tol) { return std::abs(a - b) <= tol; }
+
+/// Tolerance for IncrementalSta vs full STA: the incremental path is exact
+/// up to its change-pruning epsilon (1e-12 per cell), so 1e-9 absolute
+/// matches the contract the unit tests enforce.
+std::string compare_sta(const StaResult& inc, const StaResult& full) {
+  if (inc.arrival.size() != full.arrival.size()) return "arrival vector size mismatch";
+  for (std::size_t i = 0; i < inc.arrival.size(); ++i) {
+    if (!near(inc.arrival[i], full.arrival[i], 1e-9)) {
+      return "arrival diverges at pin " + std::to_string(i) + ": incremental " +
+             std::to_string(inc.arrival[i]) + " vs full " + std::to_string(full.arrival[i]);
+    }
+    if (!near(inc.slew[i], full.slew[i], 1e-9)) {
+      return "slew diverges at pin " + std::to_string(i);
+    }
+  }
+  if (!near(inc.wns, full.wns, 1e-9)) return "WNS diverges";
+  if (!near(inc.tns, full.tns, 1e-9)) return "TNS diverges";
+  if (inc.num_violations != full.num_violations) return "violation count diverges";
+  if (inc.num_slew_violations != full.num_slew_violations) return "slew-violation count diverges";
+  if (inc.num_cap_violations != full.num_cap_violations) return "cap-violation count diverges";
+  return {};
+}
+
+std::string bits_compare(const std::vector<double>& a, const std::vector<double>& b,
+                         const char* what) {
+  if (a.size() != b.size()) return std::string(what) + " size mismatch";
+  if (!a.empty() && std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+        return std::string(what) + " not bit-identical at element " + std::to_string(i) +
+               ": " + std::to_string(a[i]) + " vs " + std::to_string(b[i]);
+      }
+    }
+  }
+  return {};
+}
+
+std::string bits_compare_grad(const GradientResult& a, const GradientResult& b) {
+  if (std::memcmp(&a.penalty, &b.penalty, sizeof(double)) != 0) {
+    return "penalty not bit-identical: " + std::to_string(a.penalty) + " vs " +
+           std::to_string(b.penalty);
+  }
+  if (std::memcmp(&a.eval_wns_ns, &b.eval_wns_ns, sizeof(double)) != 0 ||
+      std::memcmp(&a.eval_tns_ns, &b.eval_tns_ns, sizeof(double)) != 0) {
+    return "model WNS/TNS not bit-identical";
+  }
+  std::string msg = bits_compare(a.grad_x, b.grad_x, "grad_x");
+  if (msg.empty()) msg = bits_compare(a.grad_y, b.grad_y, "grad_y");
+  return msg;
+}
+
+/// Restores the ambient pool width on every oracle exit path.
+struct ThreadWidthGuard {
+  std::size_t prev;
+  ThreadWidthGuard() : prev(parallel_threads()) {}
+  ~ThreadWidthGuard() { set_parallel_threads(prev); }
+};
+
+TimingGnn make_case_model(const FuzzCase& c) {
+  GnnConfig cfg;
+  cfg.hidden = 6;
+  cfg.type_embed = 4;
+  cfg.delay_hidden = 8;
+  cfg.seed = Rng::mix(c.seed, 0x90de1);
+  return TimingGnn(cfg, fuzz_library().num_types());
+}
+
+/// Indices of trees with at least one movable Steiner node.
+std::vector<int> movable_trees(const SteinerForest& forest) {
+  std::vector<int> out;
+  for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+    if (forest.trees[t].num_steiner_nodes() > 0) out.push_back(static_cast<int>(t));
+  }
+  return out;
+}
+
+/// Move every Steiner node of one tree by a random offset, clamped to the
+/// die and rounded to the grid (random_disturb's per-tree equivalent).
+void disturb_tree(SteinerTree& tree, const RectI& die, double dist, Rng& rng) {
+  for (SteinerNode& node : tree.nodes) {
+    if (!node.is_steiner()) continue;
+    node.pos.x += rng.uniform(-dist, dist);
+    node.pos.y += rng.uniform(-dist, dist);
+    node.pos = to_f(round_to_i(clamp_into(node.pos, die)));
+  }
+}
+
+// --- oracle: IncrementalSta vs full run_sta --------------------------------
+
+std::string oracle_sta_incremental(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  Rng& rng = *ctx.rng;
+  const std::vector<int> candidates = movable_trees(c.forest);
+  if (candidates.empty()) return {};  // no Steiner points to move
+
+  IncrementalSta inc(c.design);
+  inc.analyze(c.forest, nullptr);
+  SteinerForest cur = c.forest;
+  const double die_w = static_cast<double>(c.design.die().width());
+
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    const bool mutate_now = ctx.mutate && round == kRounds - 1;
+    std::vector<int> picks = candidates;
+    rng.shuffle(picks);
+    const std::size_t k = 1 + rng.index(std::min<std::size_t>(4, picks.size()));
+    picks.resize(k);
+
+    std::vector<int> dirty;
+    for (std::size_t m = 0; m < picks.size(); ++m) {
+      SteinerTree& tree = cur.trees[static_cast<std::size_t>(picks[m])];
+      // Mutation needs a move large enough that skipping the net is always
+      // visible above the comparison tolerance.
+      const double dist = mutate_now && m + 1 == picks.size()
+                              ? std::max(c.disturb_dist, die_w / 3.0)
+                              : c.disturb_dist;
+      disturb_tree(tree, c.design.die(), dist, rng);
+      // Dirty lists assembled from per-move records repeat nets; feed the
+      // duplicates straight through to exercise update()'s dedup.
+      const int copies = 1 + static_cast<int>(rng.index(2));
+      for (int r = 0; r < copies; ++r) dirty.push_back(tree.net);
+    }
+    // An unmoved net in the dirty list must be a no-op.
+    if (rng.bernoulli(0.3)) {
+      const int extra = candidates[rng.index(candidates.size())];
+      dirty.push_back(cur.trees[static_cast<std::size_t>(extra)].net);
+    }
+    if (mutate_now) {
+      // The injected bug: the last moved net never makes it into the dirty
+      // list, exactly the class of bookkeeping slip the oracle exists for.
+      const int skipped = cur.trees[static_cast<std::size_t>(picks.back())].net;
+      std::erase(dirty, skipped);
+    }
+    rng.shuffle(dirty);
+
+    const StaResult& fast = inc.update(cur, nullptr, dirty);
+    const StaResult full = run_sta(c.design, cur, nullptr);
+    const std::string msg = compare_sta(fast, full);
+    if (!msg.empty()) {
+      return "round " + std::to_string(round) + " (" + std::to_string(dirty.size()) +
+             " dirty entries): " + msg;
+    }
+  }
+  return {};
+}
+
+// --- oracle: retained replay vs fresh tape vs finite differences -----------
+
+std::string oracle_grad_replay(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  Rng& rng = *ctx.rng;
+  if (c.forest.num_movable() == 0) return {};
+  const TimingGnn model = make_case_model(c);
+  const auto cache = build_graph_cache(c.design, c.forest);
+  PenaltyWeights w;
+  std::vector<double> xs = c.forest.gather_x();
+  std::vector<double> ys = c.forest.gather_y();
+
+  GradientEvaluator evaluator(model, *cache, c.design, xs, ys, w);
+  constexpr int kSteps = 3;
+  for (int step = 0; step < kSteps; ++step) {
+    if (step > 0) {
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] += static_cast<double>(rng.uniform_int(-3, 3));
+        ys[i] += static_cast<double>(rng.uniform_int(-3, 3));
+      }
+      w.lambda_w *= 1.01;  // the growth schedule's mutable-lambda replay path
+      w.lambda_t *= 1.01;
+    }
+    const GradientResult fresh = compute_timing_gradients(model, *cache, c.design, xs, ys, w);
+    std::vector<double> xs_replay = xs;
+    if (ctx.mutate && step == kSteps - 1) {
+      // The injected bug: one coordinate leaf is stale on the replay side.
+      // Pick a coordinate the penalty actually depends on (nonzero
+      // gradient) — Steiner points in timing-dead cones have no influence
+      // and would make the perturbation invisible.
+      std::vector<std::size_t> live;
+      for (std::size_t i = 0; i < fresh.grad_x.size(); ++i) {
+        if (fresh.grad_x[i] != 0.0) live.push_back(i);
+      }
+      const std::size_t idx = live.empty() ? rng.index(xs_replay.size())
+                                           : live[rng.index(live.size())];
+      xs_replay[idx] += 2.0;
+    }
+    const GradientResult replayed = evaluator.gradients(xs_replay, ys, w);
+    const std::string msg = bits_compare_grad(fresh, replayed);
+    if (!msg.empty()) return "step " + std::to_string(step) + ": replay vs fresh tape: " + msg;
+  }
+
+  // Central finite differences over a few coordinates ground the analytic
+  // gradient in the function the replay actually evaluates.
+  const GradientResult g = evaluator.gradients(xs, ys, w);
+  const double eps = 1e-4;
+  const std::size_t stride = std::max<std::size_t>(1, xs.size() / 2);
+  for (std::size_t i = 0; i < xs.size(); i += stride) {
+    std::vector<double> xp = xs, xm = xs;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fp = evaluator.evaluate(xp, ys, w).penalty;
+    const double fm = evaluator.evaluate(xm, ys, w).penalty;
+    const double numeric = (fp - fm) / (2.0 * eps);
+    if (!near(g.grad_x[i], numeric, 1e-4 + 0.05 * std::abs(numeric))) {
+      return "analytic dP/dX[" + std::to_string(i) + "] = " + std::to_string(g.grad_x[i]) +
+             " vs central difference " + std::to_string(numeric);
+    }
+  }
+  return {};
+}
+
+// --- oracle: thread width 1 vs N bit-identity ------------------------------
+
+std::string oracle_thread_width(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  ThreadWidthGuard guard;
+
+  set_parallel_threads(1);
+  const StaResult serial = run_sta(c.design, c.forest, nullptr);
+
+  set_parallel_threads(4);
+  SteinerForest wide_forest = c.forest;
+  StaResult wide;
+  if (ctx.mutate) {
+    // The injected bug: the wide run sees divergent state. Nudge a Steiner
+    // point when one exists; otherwise flip one arrival bit directly.
+    const std::vector<int> cand = movable_trees(wide_forest);
+    if (!cand.empty()) {
+      for (SteinerNode& n : wide_forest.trees[static_cast<std::size_t>(cand[0])].nodes) {
+        if (n.is_steiner()) {
+          n.pos = to_f(round_to_i(clamp_into({n.pos.x + 4.0, n.pos.y}, c.design.die())));
+          break;
+        }
+      }
+      wide = run_sta(c.design, wide_forest, nullptr);
+    } else {
+      wide = run_sta(c.design, wide_forest, nullptr);
+      if (!wide.arrival.empty()) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &wide.arrival[wide.arrival.size() / 2], sizeof(bits));
+        bits ^= 1ull;
+        std::memcpy(&wide.arrival[wide.arrival.size() / 2], &bits, sizeof(bits));
+      }
+    }
+  } else {
+    wide = run_sta(c.design, wide_forest, nullptr);
+  }
+
+  std::string msg = bits_compare(serial.arrival, wide.arrival, "STA arrival (width 1 vs 4)");
+  if (msg.empty()) msg = bits_compare(serial.slew, wide.slew, "STA slew (width 1 vs 4)");
+  if (msg.empty()) {
+    msg = bits_compare(serial.endpoint_slack, wide.endpoint_slack,
+                       "endpoint slack (width 1 vs 4)");
+  }
+  if (msg.empty() && std::memcmp(&serial.wns, &wide.wns, sizeof(double)) != 0) {
+    msg = "WNS not bit-identical across widths";
+  }
+  if (!msg.empty()) return msg;
+
+  // The gradient path (GNN forward + penalty backward) under both widths.
+  if (c.forest.num_movable() == 0) return {};
+  const TimingGnn model = make_case_model(c);
+  const auto cache = build_graph_cache(c.design, c.forest);
+  const PenaltyWeights w;
+  const std::vector<double> xs = c.forest.gather_x();
+  const std::vector<double> ys = c.forest.gather_y();
+  set_parallel_threads(1);
+  const GradientResult g1 = compute_timing_gradients(model, *cache, c.design, xs, ys, w);
+  set_parallel_threads(4);
+  const GradientResult g4 = compute_timing_gradients(model, *cache, c.design, xs, ys, w);
+  msg = bits_compare_grad(g1, g4);
+  if (!msg.empty()) return "gradient width 1 vs 4: " + msg;
+  return {};
+}
+
+// --- oracle: DB save -> load -> save byte round-trip -----------------------
+
+void write_case_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t> read_case_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+std::string oracle_db_roundtrip(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  const std::string base =
+      ctx.work_dir + "/roundtrip_" + std::to_string(c.seed);
+  const std::string path1 = base + ".tsdb";
+  const std::string path2 = base + ".again.tsdb";
+
+  if (!save_case_snapshot(c, path1)) return "cannot write snapshot " + path1;
+  if (ctx.mutate) {
+    // The injected bug: one payload byte flips on disk. Every container
+    // layer downstream must refuse the file rather than decode garbage.
+    std::vector<std::uint8_t> bytes = read_case_file(path1);
+    if (bytes.empty()) return "snapshot unreadable before mutation";
+    bytes[bytes.size() / 2] ^= 0x01;
+    write_case_file(path1, bytes);
+  }
+
+  db::DbReader reader;
+  std::string error;
+  if (!reader.open(path1, &error)) return "reader rejected snapshot: " + error;
+
+  const db::ChunkInfo* lib_chunk = reader.find(db::kChunkLibrary);
+  const db::ChunkInfo* design_chunk = reader.find(db::kChunkDesign);
+  const db::ChunkInfo* forest_chunk = reader.find(db::kChunkForest);
+  if (lib_chunk == nullptr || design_chunk == nullptr || forest_chunk == nullptr) {
+    return "snapshot missing LIBR/DSGN/FRST chunks";
+  }
+
+  const auto lib = db::decode_library(reader.payload(*lib_chunk),
+                                      static_cast<std::size_t>(lib_chunk->size));
+  if (!lib) return "LIBR chunk does not decode";
+  const auto design = db::decode_design(reader.payload(*design_chunk) + 4,
+                                        static_cast<std::size_t>(design_chunk->size) - 4, *lib);
+  if (!design) return "DSGN chunk does not decode";
+  const auto forest = db::decode_forest(reader.payload(*forest_chunk) + 4,
+                                        static_cast<std::size_t>(forest_chunk->size) - 4);
+  if (!forest) return "FRST chunk does not decode";
+
+  // Re-encode the decoded objects: every chunk payload must reproduce the
+  // stored bytes exactly (save -> load -> save is the identity).
+  const std::vector<std::uint8_t> lib_again = db::encode_library(*lib);
+  if (lib_again.size() != lib_chunk->size ||
+      std::memcmp(lib_again.data(), reader.payload(*lib_chunk), lib_again.size()) != 0) {
+    return "library payload not byte-stable across decode/encode";
+  }
+  db::ByteWriter design_again;
+  design_again.u32(0);
+  design_again.raw(db::encode_design(design->spec, design->design));
+  if (design_again.bytes().size() != design_chunk->size ||
+      std::memcmp(design_again.bytes().data(), reader.payload(*design_chunk),
+                  design_again.bytes().size()) != 0) {
+    return "design payload not byte-stable across decode/encode";
+  }
+  db::ByteWriter forest_again;
+  forest_again.u32(0);
+  forest_again.raw(db::encode_forest(*forest));
+  if (forest_again.bytes().size() != forest_chunk->size ||
+      std::memcmp(forest_again.bytes().data(), reader.payload(*forest_chunk),
+                  forest_again.bytes().size()) != 0) {
+    return "forest payload not byte-stable across decode/encode";
+  }
+
+  // Whole-file check: a second save built from the decoded state must be
+  // byte-identical to the first container.
+  FuzzCase reloaded = c;
+  reloaded.design = design->design;
+  reloaded.forest = *forest;
+  if (!save_case_snapshot(reloaded, path2)) return "cannot write second snapshot";
+  const std::vector<std::uint8_t> bytes1 = read_case_file(path1);
+  const std::vector<std::uint8_t> bytes2 = read_case_file(path2);
+  if (bytes1 != bytes2) return "save -> load -> save produced a different file";
+
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+  return {};
+}
+
+// --- oracle: forest structural invariants ----------------------------------
+
+std::string oracle_forest_invariants(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  std::string msg = check_forest_invariants(c.design, c.forest, /*require_min_degree=*/true);
+  if (!msg.empty()) return "initial forest: " + msg;
+
+  // Position-only disturbance (seeded overload: part of the case's replay
+  // closure) must preserve every structural invariant.
+  SteinerForest disturbed = random_disturb(c.forest, c.design.die(), c.disturb_dist,
+                                           Rng::mix(c.seed, 0xd157));
+  if (ctx.mutate && !disturbed.trees.empty()) {
+    // The injected bug: one tree loses an edge (the classic off-by-one in a
+    // topology edit), disconnecting it.
+    for (SteinerTree& tree : disturbed.trees) {
+      if (!tree.edges.empty()) {
+        tree.edges.pop_back();
+        break;
+      }
+    }
+  }
+  msg = check_forest_invariants(c.design, disturbed, /*require_min_degree=*/true);
+  if (!msg.empty()) return "disturbed forest: " + msg;
+  return {};
+}
+
+// --- oracle: exact RSMT optimality for small nets --------------------------
+
+std::string oracle_rsmt_small(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  if (ctx.mutate) {
+    // The injected bug: a detoured 2-pin connection (driver -> far Steiner
+    // point -> sink) that any optimality check worth its name must flag.
+    for (const SteinerTree& tree : c.forest.trees) {
+      if (tree.nodes.size() != 2 || tree.edges.size() != 1) continue;
+      SteinerTree detour = tree;
+      const PointF far = clamp_into(
+          {detour.nodes[0].pos.x + static_cast<double>(c.design.die().width()) / 2.0 + 8.0,
+           detour.nodes[0].pos.y},
+          c.design.die());
+      if (manhattan(far, detour.nodes[0].pos) + manhattan(far, detour.nodes[1].pos) <=
+          manhattan(detour.nodes[0].pos, detour.nodes[1].pos)) {
+        continue;  // clamped onto the direct path; try another net
+      }
+      detour.nodes.push_back({far, -1});
+      detour.edges.clear();
+      detour.edges.push_back({0, 2});
+      detour.edges.push_back({2, 1});
+      return check_small_net_optimality(detour);
+    }
+    return {};  // no 2-pin net to detour in this case
+  }
+  int checked = 0;
+  for (const SteinerTree& tree : c.forest.trees) {
+    if (checked >= 60) break;
+    int pins = 0;
+    for (const SteinerNode& n : tree.nodes) pins += n.is_steiner() ? 0 : 1;
+    if (pins < 2 || pins > 4) continue;
+    ++checked;
+    const std::string msg = check_small_net_optimality(tree);
+    if (!msg.empty()) return msg;
+  }
+  return {};
+}
+
+// --- oracle: LSE penalty mathematics ---------------------------------------
+
+std::string oracle_lse_penalty(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  const StaResult sta = run_sta(c.design, c.forest, nullptr);
+  if (sta.endpoint_slack.empty()) return "case has no endpoints";
+  const double clock = c.design.clock_period();
+  std::vector<double> slack(sta.endpoint_slack);
+  for (double& s : slack) s /= clock;  // the normalized units the penalty graph uses
+  const double gamma = penalty_gamma(PenaltyWeights{}, clock);
+
+  const std::string msg = check_lse_penalty_properties(slack, gamma);
+  if (!msg.empty()) return msg;
+
+  // Cross-implementation bound: the smoothed WNS over the slack vector the
+  // penalty graph would see must under-approximate the sign-off hard WNS.
+  // The bound holds for every positive temperature, so the cross-check uses
+  // a tight one — at the production gamma (10 ns / clock) the smoothing
+  // slack would mask a missing endpoint entirely.
+  constexpr double kCrossGamma = 1e-3;
+  std::vector<double> graph_slack = slack;
+  if (ctx.mutate) {
+    // The injected bug: the critical endpoint cluster never entered the
+    // penalty graph (a gather_rows indexing slip).
+    const double min_s = *std::min_element(slack.begin(), slack.end());
+    graph_slack.clear();
+    for (double s : slack) {
+      if (s > min_s + 0.05) graph_slack.push_back(s);
+    }
+    if (graph_slack.empty()) return {};  // flat slack profile; nothing to drop
+  }
+  Tape tape;
+  const Value s_leaf = tape.leaf(Tensor::column(graph_slack));
+  const double smooth_wns =
+      tape.value(tape.neg(tape.log_sum_exp(tape.neg(s_leaf), kCrossGamma)))[0];
+  const double hard_wns = sta.wns / clock;
+  if (smooth_wns > hard_wns + 1e-9 * std::max(1.0, std::abs(hard_wns))) {
+    return "smoothed WNS " + std::to_string(smooth_wns) +
+           " above sign-off hard WNS " + std::to_string(hard_wns) +
+           " (an endpoint is missing from the penalty graph)";
+  }
+  return {};
+}
+
+// --- oracle: keep-best refinement loop -------------------------------------
+
+std::string oracle_keep_best(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  if (c.forest.num_movable() == 0) return {};
+  const TimingGnn model = make_case_model(c);
+  RefineOptions opts;
+  opts.max_iterations = 5;
+  const RefineResult r = refine_steiner_points(c.design, c.forest, model, opts);
+  std::string msg = check_keep_best_monotone(r);
+  if (!msg.empty()) return msg;
+  // The refined forest is a position-only edit of the input: structure,
+  // degree bounds, die containment and grid rounding must all survive.
+  msg = check_forest_invariants(c.design, r.forest, /*require_min_degree=*/true);
+  if (!msg.empty()) return "refined forest: " + msg;
+  return {};
+}
+
+}  // namespace
+
+void DiffHarness::add_oracle(Oracle oracle) { oracles_.push_back(std::move(oracle)); }
+
+DiffHarness DiffHarness::standard() {
+  DiffHarness h;
+  h.add_oracle({"sta-incremental", oracle_sta_incremental, /*stride=*/1, true});
+  h.add_oracle({"grad-replay", oracle_grad_replay, /*stride=*/1, true});
+  h.add_oracle({"thread-width", oracle_thread_width, /*stride=*/1, true});
+  h.add_oracle({"db-roundtrip", oracle_db_roundtrip, /*stride=*/1, true});
+  h.add_oracle({"forest-invariants", oracle_forest_invariants, /*stride=*/1, true});
+  h.add_oracle({"rsmt-small", oracle_rsmt_small, /*stride=*/1, true});
+  h.add_oracle({"lse-penalty", oracle_lse_penalty, /*stride=*/1, true});
+  h.add_oracle({"keep-best", oracle_keep_best, /*stride=*/4, false});
+  return h;
+}
+
+std::vector<OracleFailure> DiffHarness::run(const HarnessOptions& options) const {
+  std::vector<OracleFailure> failures;
+  if (!options.work_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.work_dir, ec);
+  }
+
+  const int total = options.replay ? 1 : options.cases;
+  for (int i = 0; i < total; ++i) {
+    const std::uint64_t case_seed =
+        options.replay ? options.replay_seed : Rng::mix(options.seed, static_cast<std::uint64_t>(i));
+    const FuzzCase c = make_case(case_seed, options.scale);
+    if (options.verbose) {
+      std::fprintf(stderr, "case %d/%d seed=%llu cells=%lld movable=%zu\n", i + 1, total,
+                   static_cast<unsigned long long>(case_seed), c.num_cells(),
+                   c.forest.num_movable());
+    }
+
+    for (const Oracle& oracle : oracles_) {
+      if (!options.only.empty() &&
+          std::find(options.only.begin(), options.only.end(), oracle.name) ==
+              options.only.end()) {
+        continue;
+      }
+      const bool mutate = oracle.name == options.mutate_oracle;
+      if (mutate && !oracle.supports_mutation) continue;
+      if (!mutate && !options.replay && oracle.stride > 1 && i % oracle.stride != 0) continue;
+
+      auto run_oracle = [&](const FuzzCase& target) {
+        Rng rng(Rng::mix(target.seed, fnv1a(oracle.name)));
+        OracleContext ctx{&target, &rng, mutate, options.work_dir};
+        return oracle.fn(ctx);
+      };
+      const std::string msg = run_oracle(c);
+      if (msg.empty()) continue;
+
+      OracleFailure f;
+      f.oracle = oracle.name;
+      f.seed = case_seed;
+      f.scale = options.scale;
+      f.message = msg;
+      f.repro = "tsteiner_fuzz --oracle " + oracle.name + " --scale " + options.scale +
+                " --replay " + std::to_string(case_seed) +
+                (mutate ? " --mutate " + oracle.name : "");
+      std::fprintf(stderr, "FAIL oracle=%s seed=%llu scale=%s: %s\n", oracle.name.c_str(),
+                   static_cast<unsigned long long>(case_seed), options.scale.c_str(),
+                   msg.c_str());
+      std::fprintf(stderr, "REPRO: %s\n", f.repro.c_str());
+
+      FuzzCase smallest = c;
+      if (options.shrink) {
+        smallest = shrink_case(
+            c, [&](const FuzzCase& cand) { return !run_oracle(cand).empty(); });
+      }
+      f.shrunk_cells = smallest.num_cells();
+      f.shrunk_params = smallest.params;
+      if (!options.work_dir.empty()) {
+        const std::string snap = options.work_dir + "/fail_" + oracle.name + "_" +
+                                 std::to_string(case_seed) + ".tsdb";
+        if (save_case_snapshot(smallest, snap)) f.snapshot_path = snap;
+      }
+      std::fprintf(stderr,
+                   "SHRUNK: cells=%lld comb=%d regs=%d pis=%d pos=%d snapshot=%s\n",
+                   f.shrunk_cells, smallest.params.num_comb_cells,
+                   smallest.params.num_registers, smallest.params.num_primary_inputs,
+                   smallest.params.num_primary_outputs,
+                   f.snapshot_path.empty() ? "(none)" : f.snapshot_path.c_str());
+
+      failures.push_back(std::move(f));
+      if (static_cast<int>(failures.size()) >= options.max_failures) return failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace tsteiner::verify

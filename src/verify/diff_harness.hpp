@@ -1,0 +1,89 @@
+// Differential-testing harness: runs named oracle pairs and invariant
+// checks over seeded fuzz cases, shrinks failures, and emits standalone
+// repro lines.
+//
+// Each oracle compares two implementations that promise the same answer
+// (IncrementalSta vs full run_sta, retained-program replay vs fresh tape vs
+// finite differences, thread width 1 vs N, DB save -> load -> save) or
+// checks a structural invariant (forest well-formedness, small-net RSMT
+// optimality, LSE penalty mathematics, keep-best monotonicity). Because the
+// oracle itself is the safety net, every oracle that can carries a mutation
+// mode: a known perturbation (skip a dirty net, nudge one replay coordinate,
+// flip a container byte, drop a tree edge) that MUST make it fail — run via
+// HarnessOptions::mutate_oracle, asserted by tests/verify_test.cpp and the
+// fuzz CI leg, so a silently vacuous oracle cannot survive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "verify/case_gen.hpp"
+
+namespace tsteiner::verify {
+
+struct OracleContext {
+  const FuzzCase* fuzz_case = nullptr;
+  Rng* rng = nullptr;        ///< per-(case, oracle) stream, derived from the case seed
+  bool mutate = false;       ///< inject this oracle's known perturbation
+  std::string work_dir;      ///< scratch directory for oracles that touch disk
+};
+
+/// Returns empty on pass, a description of the divergence on failure.
+using OracleFn = std::function<std::string(OracleContext&)>;
+
+struct Oracle {
+  std::string name;
+  OracleFn fn;
+  /// Run on every stride-th case (1 = every case). Expensive oracles use a
+  /// stride so a 200-case sweep stays inside the fuzz time budget while
+  /// still exercising them across dozens of distinct designs.
+  int stride = 1;
+  bool supports_mutation = false;
+};
+
+struct OracleFailure {
+  std::string oracle;
+  std::uint64_t seed = 0;    ///< case seed: replays via --replay <seed>
+  std::string scale;
+  std::string message;
+  long long shrunk_cells = 0;      ///< design size after greedy shrinking
+  GeneratorParams shrunk_params;   ///< shrunk generator parameters
+  std::string snapshot_path;       ///< saved .tsdb of the shrunk case ("" if unsaved)
+  std::string repro;               ///< standalone repro command line
+};
+
+struct HarnessOptions {
+  int cases = 50;
+  std::uint64_t seed = 1;         ///< run seed; case k uses Rng::mix(seed, k)
+  std::string scale = "tiny";
+  std::vector<std::string> only;  ///< restrict to these oracle names (empty = all)
+  std::string mutate_oracle;      ///< enable mutation mode for this oracle
+  bool shrink = true;
+  std::string work_dir = "tsteiner_fuzz_tmp";
+  int max_failures = 3;           ///< stop the sweep after this many failures
+  std::uint64_t replay_seed = 0;  ///< when nonzero, run exactly this case seed
+  bool replay = false;
+  bool verbose = false;           ///< per-case progress on stderr
+};
+
+class DiffHarness {
+ public:
+  void add_oracle(Oracle oracle);
+  const std::vector<Oracle>& oracles() const { return oracles_; }
+
+  /// The built-in oracle suite covering STA, autodiff replay, thread-width
+  /// determinism, DB round-trips, and the Steiner/penalty invariants.
+  static DiffHarness standard();
+
+  /// Run the sweep; prints failures (with repro lines) to stderr and
+  /// returns them. An empty vector means every oracle held on every case.
+  std::vector<OracleFailure> run(const HarnessOptions& options) const;
+
+ private:
+  std::vector<Oracle> oracles_;
+};
+
+}  // namespace tsteiner::verify

@@ -1,0 +1,47 @@
+// Structural and mathematical invariant checks for the verification
+// subsystem. Every check returns an empty string when the invariant holds
+// and a human-readable description of the first violation otherwise, so the
+// DiffHarness can attach the message to a repro line without exceptions
+// crossing the oracle boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "steiner/steiner_tree.hpp"
+#include "tsteiner/refine.hpp"
+
+namespace tsteiner::verify {
+
+/// Steiner forest structure: every tree is connected and acyclic, rooted at
+/// the net's driver pin, its pin nodes cover the net's driver and sinks
+/// exactly, all coordinates are finite and inside the die, and net_to_tree /
+/// the movable index are consistent with the trees. With
+/// `require_min_degree`, every Steiner node must have degree >= 3 (the RSMT
+/// construction guarantee; position-only edits such as random_disturb and
+/// refinement preserve it). With `require_integral`, every coordinate must
+/// sit on the rectilinear grid (integer DBU) — true of constructed forests
+/// and of anything post-processed through the rounding step.
+std::string check_forest_invariants(const Design& design, const SteinerForest& forest,
+                                    bool require_min_degree, bool require_integral = true);
+
+/// Exact-RSMT optimality for nets with at most 4 pins: the tree's wirelength
+/// must equal the brute-force optimum over Hanan-grid Steiner point subsets
+/// (Hanan's theorem makes that enumeration exhaustive at this size).
+std::string check_small_net_optimality(const SteinerTree& tree);
+
+/// Smoothed-penalty mathematics on an endpoint-slack vector (normalized
+/// units, as the penalty graph consumes):
+///  * smooth WNS = -LSE_gamma(-s) lies in [min(s) - gamma*ln(n), min(s)];
+///  * its gradient is a simplex: per-endpoint weights >= 0 summing to 1;
+///  * smooth TNS = sum soft_min0(s) lies in [TNS - n*gamma*ln2, TNS] and its
+///    per-endpoint gradient lies in [0, 1].
+std::string check_lse_penalty_properties(const std::vector<double>& slack, double gamma);
+
+/// Keep-best contract of the refinement loop: the reported best WNS/TNS
+/// never fall below the initial values, and the traces cover every
+/// iteration.
+std::string check_keep_best_monotone(const RefineResult& result);
+
+}  // namespace tsteiner::verify

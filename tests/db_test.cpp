@@ -3,6 +3,8 @@
 // equality of restored libraries, designs, forests, models and suites.
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,7 +43,7 @@ Design make_design(std::uint64_t seed) {
   return d;
 }
 
-std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+std::string temp_path(const char* name) { return testutil::test_tmp_dir() + "/" + name; }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

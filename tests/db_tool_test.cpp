@@ -1,0 +1,111 @@
+// Exit-code contract of the tsteiner_db CLI: 0 = success, 1 = unreadable /
+// corrupt / missing data, 2 = usage error. The binary path is injected by
+// CMake as TSTEINER_DB_TOOL.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testutil.hpp"
+#include "verify/case_gen.hpp"
+
+namespace tsteiner {
+namespace {
+
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(TSTEINER_DB_TOOL) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << cmd;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A small, fully valid snapshot container to probe against.
+std::string make_snapshot(const std::string& dir) {
+  const std::string path = dir + "/probe.tsdb";
+  const verify::FuzzCase c = verify::make_case(101, "tiny");
+  EXPECT_TRUE(verify::save_case_snapshot(c, path));
+  return path;
+}
+
+TEST(DbTool, InfoAndVerifySucceedOnValidContainer) {
+  const std::string dir = testutil::test_tmp_dir();
+  const std::string path = make_snapshot(dir);
+  EXPECT_EQ(run_tool("info " + path), 0);
+  EXPECT_EQ(run_tool("verify " + path), 0);
+}
+
+TEST(DbTool, VerifyRejectsTruncatedContainer) {
+  const std::string dir = testutil::test_tmp_dir();
+  const std::string path = make_snapshot(dir);
+  std::vector<char> bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes.resize(bytes.size() - 10);  // cut into the FEND trailer / last chunk
+  const std::string cut = dir + "/cut.tsdb";
+  write_bytes(cut, bytes);
+  EXPECT_EQ(run_tool("verify " + cut), 1);
+  EXPECT_EQ(run_tool("info " + cut), 1);
+}
+
+TEST(DbTool, VerifyRejectsBitFlippedPayload) {
+  const std::string dir = testutil::test_tmp_dir();
+  const std::string path = make_snapshot(dir);
+  std::vector<char> bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 128u);
+  bytes[bytes.size() / 2] ^= 0x01;  // lands inside some chunk payload; CRC must catch
+  const std::string flipped = dir + "/flipped.tsdb";
+  write_bytes(flipped, bytes);
+  EXPECT_EQ(run_tool("verify " + flipped), 1);
+}
+
+TEST(DbTool, MissingFileFails) {
+  const std::string dir = testutil::test_tmp_dir();
+  EXPECT_EQ(run_tool("info " + dir + "/does_not_exist.tsdb"), 1);
+  EXPECT_EQ(run_tool("verify " + dir + "/does_not_exist.tsdb"), 1);
+}
+
+TEST(DbTool, UsageErrorsExitTwo) {
+  const std::string dir = testutil::test_tmp_dir();
+  const std::string path = make_snapshot(dir);
+  EXPECT_EQ(run_tool(""), 2);                    // no command
+  EXPECT_EQ(run_tool("info"), 2);                // missing file argument
+  EXPECT_EQ(run_tool("frobnicate " + path), 2);  // unknown command
+  EXPECT_EQ(run_tool("extract " + path), 2);     // missing type/out arguments
+  EXPECT_EQ(run_tool("extract " + path + " TOOLONGNAME " + dir + "/o"), 2);
+}
+
+TEST(DbTool, ExtractForestAndRawChunks) {
+  const std::string dir = testutil::test_tmp_dir();
+  const std::string path = make_snapshot(dir);
+  const std::string forest_out = dir + "/forest.txt";
+  EXPECT_EQ(run_tool("extract " + path + " FRST " + forest_out), 0);
+  EXPECT_TRUE(std::filesystem::exists(forest_out));
+  EXPECT_GT(std::filesystem::file_size(forest_out), 0u);
+
+  const std::string raw_out = dir + "/meta.bin";
+  EXPECT_EQ(run_tool("extract " + path + " META " + raw_out), 0);
+  EXPECT_TRUE(std::filesystem::exists(raw_out));
+
+  // Out-of-range chunk index and absent chunk type are data errors, not
+  // usage errors.
+  EXPECT_EQ(run_tool("extract " + path + " FRST " + dir + "/x 5"), 1);
+  EXPECT_EQ(run_tool("extract " + path + " ZZZZ " + dir + "/y"), 1);
+}
+
+}  // namespace
+}  // namespace tsteiner

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include "flow/experiment.hpp"
 #include "gnn/adam.hpp"
 #include "gnn/graph_cache.hpp"
@@ -265,7 +267,7 @@ TEST(Serialize, SaveLoadRoundTrip) {
   TimingGnn model(cfg, lib().num_types());
   // Nudge a weight so the file is not all-initializer values.
   model.parameters()[0].at(0, 0) = 0.123456789;
-  const std::string path = ::testing::TempDir() + "/tsteiner_model_test.txt";
+  const std::string path = testutil::test_tmp_dir() + "/tsteiner_model_test.txt";
   ASSERT_TRUE(save_model(model, path, "unit-test"));
   const auto loaded = load_model(path, cfg, lib().num_types(), "unit-test");
   ASSERT_TRUE(loaded.has_value());
@@ -282,7 +284,7 @@ TEST(Serialize, RejectsMismatchedTagOrConfig) {
   GnnConfig cfg;
   cfg.hidden = 6;
   TimingGnn model(cfg, lib().num_types());
-  const std::string path = ::testing::TempDir() + "/tsteiner_model_test2.txt";
+  const std::string path = testutil::test_tmp_dir() + "/tsteiner_model_test2.txt";
   ASSERT_TRUE(save_model(model, path, "tag-a"));
   EXPECT_FALSE(load_model(path, cfg, lib().num_types(), "tag-b").has_value());
   GnnConfig other = cfg;
@@ -296,7 +298,7 @@ TEST(Serialize, LoadedModelPredictsIdentically) {
   GnnConfig cfg;
   cfg.hidden = 6;
   TimingGnn model(cfg, lib().num_types());
-  const std::string path = ::testing::TempDir() + "/tsteiner_model_test3.txt";
+  const std::string path = testutil::test_tmp_dir() + "/tsteiner_model_test3.txt";
   ASSERT_TRUE(save_model(model, path, "pred"));
   const auto loaded = load_model(path, cfg, lib().num_types(), "pred");
   ASSERT_TRUE(loaded.has_value());

@@ -164,5 +164,71 @@ TEST(IncrementalSta, RegisterDrivenNetUpdates) {
   expect_results_equal(r, full);
 }
 
+TEST(IncrementalSta, DuplicateDirtyNetsAreDeduplicated) {
+  const Fixture f = make(117);
+  IncrementalSta inc(f.design);
+  inc.analyze(f.forest, nullptr);
+
+  SteinerForest moved = f.forest;
+  int dirty_net = -1;
+  for (std::size_t t = 0; t < moved.trees.size(); ++t) {
+    if (moved.trees[t].num_steiner_nodes() > 0) {
+      dirty_net = move_one_net(moved, t, 12.0);
+      break;
+    }
+  }
+  ASSERT_GE(dirty_net, 0);
+
+  // A unique list establishes the baseline cost and result.
+  IncrementalSta once(f.design);
+  once.analyze(f.forest, nullptr);
+  const StaResult unique_result = once.update(moved, nullptr, {dirty_net});
+  const long long unique_cells = once.last_update_cell_count();
+
+  // The same net listed five times must cost the same and match exactly —
+  // re-extracting a net twice would double-propagate its cone.
+  const StaResult& dup_result =
+      inc.update(moved, nullptr, {dirty_net, dirty_net, dirty_net, dirty_net, dirty_net});
+  expect_results_equal(dup_result, unique_result);
+  EXPECT_EQ(inc.last_update_cell_count(), unique_cells)
+      << "duplicate dirty entries must not be re-processed";
+  expect_results_equal(dup_result, run_sta(f.design, moved, nullptr));
+}
+
+TEST(IncrementalSta, ZeroSinkDirtyNetIsSkipped) {
+  // A net with a driver but no sinks (a dangling output mid-edit) has no
+  // tree and no timing contribution; listing it dirty must be a no-op, not
+  // a crash or a stale-state source.
+  GeneratorParams p;
+  p.num_comb_cells = 60;
+  p.num_registers = 6;
+  p.num_primary_inputs = 4;
+  p.num_primary_outputs = 4;
+  p.seed = 118;
+  Design design = generate_design(lib(), p);
+  // Append one cell whose output net never gets a sink.
+  const int extra_cell = design.add_cell(lib().combinational_types()[0]);
+  const int sinkless_net = design.add_net(design.cell(extra_cell).output_pin);
+  place_design(design);
+  SteinerForest forest = build_forest(design);
+  design.set_clock_period(1.0);
+  ASSERT_EQ(forest.net_to_tree[static_cast<std::size_t>(sinkless_net)], -1);
+
+  IncrementalSta inc(design);
+  inc.analyze(forest, nullptr);
+  SteinerForest moved = forest;
+  int moved_net = -1;
+  for (std::size_t t = 0; t < moved.trees.size(); ++t) {
+    if (moved.trees[t].num_steiner_nodes() > 0) {
+      moved_net = move_one_net(moved, t, 10.0);
+      break;
+    }
+  }
+  ASSERT_GE(moved_net, 0);
+  const StaResult& r =
+      inc.update(moved, nullptr, {sinkless_net, moved_net, sinkless_net});
+  expect_results_equal(r, run_sta(design, moved, nullptr));
+}
+
 }  // namespace
 }  // namespace tsteiner

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include <sstream>
 
 #include "netlist/design_generator.hpp"
@@ -137,7 +139,7 @@ TEST(ForestIo, RejectsCorruptTrees) {
 
 TEST(DesignIo, FileApiWorks) {
   const Design d = make_design(85);
-  const std::string path = ::testing::TempDir() + "/design_io_test.txt";
+  const std::string path = testutil::test_tmp_dir() + "/design_io_test.txt";
   ASSERT_TRUE(write_design_file(d, path));
   const auto loaded = read_design_file(path, lib());
   ASSERT_TRUE(loaded.has_value());

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "testutil.hpp"
+#include "tsteiner/random_move.hpp"
+#include "verify/case_gen.hpp"
+#include "verify/diff_harness.hpp"
+#include "verify/invariants.hpp"
+
+namespace tsteiner::verify {
+namespace {
+
+TEST(CaseGen, PureFunctionOfSeed) {
+  const FuzzCase a = make_case(42, "tiny");
+  const FuzzCase b = make_case(42, "tiny");
+  EXPECT_EQ(a.params.num_comb_cells, b.params.num_comb_cells);
+  EXPECT_EQ(a.params.num_registers, b.params.num_registers);
+  EXPECT_EQ(a.num_cells(), b.num_cells());
+  EXPECT_EQ(a.design.clock_period(), b.design.clock_period());
+  EXPECT_EQ(a.forest.gather_x(), b.forest.gather_x());
+  EXPECT_EQ(a.forest.gather_y(), b.forest.gather_y());
+}
+
+TEST(CaseGen, DistinctSeedsProduceDistinctCases) {
+  const FuzzCase a = make_case(1, "tiny");
+  const FuzzCase b = make_case(2, "tiny");
+  // The clock is a continuous function of the seeded design; a collision
+  // would require two unrelated streams to agree to the last bit.
+  EXPECT_NE(a.design.clock_period(), b.design.clock_period());
+}
+
+TEST(CaseGen, TinyScaleStaysSmall) {
+  for (std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    const FuzzCase c = make_case(seed, "tiny");
+    EXPECT_LE(c.params.num_comb_cells, 96);
+    EXPECT_GE(c.params.num_comb_cells, 24);
+    EXPECT_GT(c.forest.trees.size(), 0u);
+  }
+}
+
+TEST(CaseGen, SnapshotRoundTripsThroughDb) {
+  const FuzzCase c = make_case(11, "tiny");
+  const std::string path = testutil::test_tmp_dir() + "/case.tsdb";
+  ASSERT_TRUE(save_case_snapshot(c, path));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+}
+
+TEST(RandomDisturb, SeededOverloadIsDeterministic) {
+  const FuzzCase c = make_case(21, "tiny");
+  const SteinerForest a = random_disturb(c.forest, c.design.die(), 10.0, 77);
+  const SteinerForest b = random_disturb(c.forest, c.design.die(), 10.0, 77);
+  EXPECT_EQ(a.gather_x(), b.gather_x());
+  EXPECT_EQ(a.gather_y(), b.gather_y());
+  if (c.forest.num_movable() > 0) {
+    const SteinerForest other = random_disturb(c.forest, c.design.die(), 10.0, 78);
+    EXPECT_NE(a.gather_x(), other.gather_x());
+  }
+}
+
+TEST(Invariants, GeneratedForestsPass) {
+  const FuzzCase c = make_case(31, "tiny");
+  EXPECT_EQ(check_forest_invariants(c.design, c.forest, /*require_min_degree=*/true), "");
+}
+
+TEST(Invariants, DetectsDroppedEdge) {
+  FuzzCase c = make_case(32, "tiny");
+  for (SteinerTree& tree : c.forest.trees) {
+    if (!tree.edges.empty()) {
+      tree.edges.pop_back();
+      break;
+    }
+  }
+  EXPECT_NE(check_forest_invariants(c.design, c.forest, /*require_min_degree=*/false), "");
+}
+
+TEST(Invariants, DetectsOffGridSteinerPoint) {
+  FuzzCase c = make_case(33, "tiny");
+  bool nudged = false;
+  for (SteinerTree& tree : c.forest.trees) {
+    for (SteinerNode& node : tree.nodes) {
+      if (node.is_steiner()) {
+        node.pos.x += 0.25;
+        nudged = true;
+        break;
+      }
+    }
+    if (nudged) break;
+  }
+  if (!nudged) GTEST_SKIP() << "no Steiner nodes in this seed";
+  EXPECT_NE(check_forest_invariants(c.design, c.forest, /*require_min_degree=*/false,
+                                    /*require_integral=*/true),
+            "");
+}
+
+TEST(Invariants, LsePenaltyMathOnKnownVectors) {
+  EXPECT_EQ(check_lse_penalty_properties({0.5, -0.2, 0.1}, 0.05), "");
+  EXPECT_EQ(check_lse_penalty_properties({-1.0, -1.0, -1.0}, 1.0), "");
+  EXPECT_NE(check_lse_penalty_properties({0.5}, -1.0), "");  // bad temperature
+  EXPECT_NE(check_lse_penalty_properties({}, 0.1), "");      // no endpoints
+}
+
+TEST(Invariants, SmallNetBruteForceFlagsDetour) {
+  // A 2-pin connection routed through a far-away Steiner point is provably
+  // suboptimal; the Hanan brute force must say so.
+  SteinerTree tree;
+  tree.net = 0;
+  tree.nodes = {{{0.0, 0.0}, 0}, {{10.0, 0.0}, 1}, {{5.0, 40.0}, -1}};
+  tree.edges = {{0, 2}, {2, 1}};
+  tree.driver_node = 0;
+  EXPECT_NE(check_small_net_optimality(tree), "");
+  // The direct connection is optimal.
+  SteinerTree direct;
+  direct.net = 0;
+  direct.nodes = {{{0.0, 0.0}, 0}, {{10.0, 0.0}, 1}};
+  direct.edges = {{0, 1}};
+  direct.driver_node = 0;
+  EXPECT_EQ(check_small_net_optimality(direct), "");
+}
+
+TEST(Shrinker, ReducesToFloorWhenEverythingFails) {
+  const FuzzCase big = make_case(41, "tiny");
+  const FuzzCase small =
+      shrink_case(big, [](const FuzzCase&) { return true; });
+  EXPECT_LE(small.num_cells(), 20);
+  EXPECT_EQ(small.seed, big.seed);
+}
+
+TEST(Shrinker, KeepsOriginalWhenNothingSmallerFails) {
+  const FuzzCase big = make_case(42, "tiny");
+  const FuzzCase same = shrink_case(
+      big, [&](const FuzzCase& cand) { return cand.num_cells() == big.num_cells(); });
+  EXPECT_EQ(same.num_cells(), big.num_cells());
+}
+
+TEST(DiffHarness, CleanSweepPasses) {
+  HarnessOptions opts;
+  opts.cases = 3;
+  opts.seed = 7;
+  opts.work_dir = testutil::test_tmp_dir();
+  const auto failures = DiffHarness::standard().run(opts);
+  EXPECT_TRUE(failures.empty()) << failures.front().oracle << ": "
+                                << failures.front().message;
+}
+
+TEST(DiffHarness, EveryMutationIsCaught) {
+  // The mutation smoke test from the issue: each oracle carries a known
+  // perturbation that must produce at least one failure — a silently
+  // vacuous oracle cannot pass this.
+  const DiffHarness harness = DiffHarness::standard();
+  const std::string work = testutil::test_tmp_dir();
+  for (const Oracle& oracle : harness.oracles()) {
+    if (!oracle.supports_mutation) continue;
+    HarnessOptions opts;
+    opts.cases = 3;
+    opts.seed = 5;
+    opts.only = {oracle.name};
+    opts.mutate_oracle = oracle.name;
+    opts.shrink = false;
+    opts.max_failures = 1;
+    opts.work_dir = work;
+    const auto failures = harness.run(opts);
+    EXPECT_FALSE(failures.empty()) << "mutation of " << oracle.name << " went undetected";
+  }
+}
+
+TEST(DiffHarness, FailurePrintsReproAndShrinksBelowTwentyCells) {
+  HarnessOptions opts;
+  opts.cases = 1;
+  opts.seed = 9;
+  opts.only = {"lse-penalty"};
+  opts.mutate_oracle = "lse-penalty";
+  opts.work_dir = testutil::test_tmp_dir();
+  const auto failures = DiffHarness::standard().run(opts);
+  ASSERT_FALSE(failures.empty());
+  const OracleFailure& f = failures.front();
+  EXPECT_EQ(f.oracle, "lse-penalty");
+  EXPECT_NE(f.repro.find("tsteiner_fuzz"), std::string::npos);
+  EXPECT_NE(f.repro.find("--replay " + std::to_string(f.seed)), std::string::npos);
+  EXPECT_NE(f.repro.find("--oracle lse-penalty"), std::string::npos);
+  EXPECT_LE(f.shrunk_cells, 20) << "greedy shrinking should reach the size floor";
+  ASSERT_FALSE(f.snapshot_path.empty());
+  EXPECT_TRUE(std::filesystem::exists(f.snapshot_path));
+}
+
+TEST(DiffHarness, ReplayReRunsTheExactCase) {
+  // A failure's seed must reproduce standalone, independent of case index.
+  HarnessOptions opts;
+  opts.replay = true;
+  opts.replay_seed = Rng::mix(5, 2);  // case 2 of run seed 5
+  opts.only = {"forest-invariants"};
+  opts.mutate_oracle = "forest-invariants";
+  opts.shrink = false;
+  opts.work_dir = testutil::test_tmp_dir();
+  const auto failures = DiffHarness::standard().run(opts);
+  ASSERT_FALSE(failures.empty());
+  EXPECT_EQ(failures.front().seed, opts.replay_seed);
+}
+
+}  // namespace
+}  // namespace tsteiner::verify

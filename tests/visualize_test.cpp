@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "testutil.hpp"
+
 #include <fstream>
 #include <sstream>
 
@@ -69,7 +71,7 @@ TEST(Visualize, WritesSvgWithAllLayers) {
     }
   }
 
-  const std::string path = ::testing::TempDir() + "/viz_test.svg";
+  const std::string path = testutil::test_tmp_dir() + "/viz_test.svg";
   ASSERT_TRUE(render_design_svg(d, f, &gr.grid, &ref, path));
   std::ifstream in(path);
   std::stringstream ss;
@@ -98,7 +100,7 @@ TEST(Visualize, OptionsDisableLayers) {
   opts.draw_cells = false;
   opts.draw_trees = false;
   opts.draw_congestion = false;
-  const std::string path = ::testing::TempDir() + "/viz_empty.svg";
+  const std::string path = testutil::test_tmp_dir() + "/viz_empty.svg";
   ASSERT_TRUE(render_design_svg(d, f, nullptr, nullptr, path, opts));
   std::ifstream in(path);
   std::stringstream ss;

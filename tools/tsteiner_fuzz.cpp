@@ -1,0 +1,138 @@
+// tsteiner_fuzz: seeded differential-oracle and property-fuzz driver.
+//
+// Sweeps randomized fuzz cases through the src/verify oracle suite. Every
+// case is a pure function of (run seed, case index), so any failure prints a
+// standalone repro line plus a shrunken .tsdb snapshot. Exit codes: 0 = all
+// oracles held (or, with --expect-fail, the mutated oracle was caught);
+// 1 = a failure the run did not expect; 2 = usage error.
+//
+// Typical invocations:
+//   tsteiner_fuzz --cases 200 --seed 1
+//   tsteiner_fuzz --oracle sta-incremental --scale tiny --replay 123456789
+//   tsteiner_fuzz --cases 3 --mutate db-roundtrip --expect-fail
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verify/diff_harness.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --cases N        number of fuzz cases (default 50)\n"
+               "  --seed S         run seed; case k uses mix(S, k) (default 1)\n"
+               "  --scale tiny|small\n"
+               "  --oracle NAME    run only this oracle (repeatable)\n"
+               "  --replay SEED    run exactly one case with this case seed\n"
+               "  --mutate NAME    inject NAME's known perturbation (oracle must fail)\n"
+               "  --expect-fail    exit 0 iff at least one failure was reported\n"
+               "  --no-shrink      skip greedy shrinking of failing cases\n"
+               "  --workdir DIR    scratch/snapshot directory (default tsteiner_fuzz_tmp)\n"
+               "  --max-failures N stop after N failures (default 3)\n"
+               "  --verbose        per-case progress\n"
+               "  --list           print oracle names and exit\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tsteiner::verify::DiffHarness;
+  tsteiner::verify::HarnessOptions opts;
+  bool expect_fail = false;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cases") {
+      opts.cases = std::atoi(value("--cases"));
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(value("--seed"), nullptr, 10);
+    } else if (arg == "--scale") {
+      opts.scale = value("--scale");
+    } else if (arg == "--oracle") {
+      opts.only.push_back(value("--oracle"));
+    } else if (arg == "--replay") {
+      opts.replay_seed = std::strtoull(value("--replay"), nullptr, 10);
+      opts.replay = true;
+    } else if (arg == "--mutate") {
+      opts.mutate_oracle = value("--mutate");
+    } else if (arg == "--expect-fail") {
+      expect_fail = true;
+    } else if (arg == "--no-shrink") {
+      opts.shrink = false;
+    } else if (arg == "--workdir") {
+      opts.work_dir = value("--workdir");
+    } else if (arg == "--max-failures") {
+      opts.max_failures = std::atoi(value("--max-failures"));
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (opts.cases <= 0 && !opts.replay) return usage(argv[0]);
+  if (opts.scale != "tiny" && opts.scale != "small") {
+    std::fprintf(stderr, "%s: unknown scale '%s'\n", argv[0], opts.scale.c_str());
+    return 2;
+  }
+
+  const DiffHarness harness = DiffHarness::standard();
+  if (list) {
+    for (const auto& oracle : harness.oracles()) {
+      std::printf("%s%s\n", oracle.name.c_str(),
+                  oracle.supports_mutation ? "" : " (no mutation mode)");
+    }
+    return 0;
+  }
+  auto known = [&](const std::string& name) {
+    for (const auto& oracle : harness.oracles()) {
+      if (oracle.name == name) return true;
+    }
+    return false;
+  };
+  for (const std::string& name : opts.only) {
+    if (!known(name)) {
+      std::fprintf(stderr, "%s: unknown oracle '%s' (try --list)\n", argv[0], name.c_str());
+      return 2;
+    }
+  }
+  if (!opts.mutate_oracle.empty()) {
+    if (!known(opts.mutate_oracle)) {
+      std::fprintf(stderr, "%s: unknown oracle '%s' (try --list)\n", argv[0],
+                   opts.mutate_oracle.c_str());
+      return 2;
+    }
+    // Mutation runs want the mutated oracle exercised on every case.
+    if (opts.only.empty()) opts.only.push_back(opts.mutate_oracle);
+  }
+
+  const auto failures = harness.run(opts);
+  std::fprintf(stderr, "tsteiner_fuzz: %zu failure(s) over %d case(s), seed %llu\n",
+               failures.size(), opts.replay ? 1 : opts.cases,
+               static_cast<unsigned long long>(opts.replay ? opts.replay_seed : opts.seed));
+  if (expect_fail) {
+    if (failures.empty()) {
+      std::fprintf(stderr,
+                   "tsteiner_fuzz: expected the mutated oracle to fail, but every case "
+                   "passed — the oracle is vacuous\n");
+      return 1;
+    }
+    return 0;
+  }
+  return failures.empty() ? 0 : 1;
+}
