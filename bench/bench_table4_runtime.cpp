@@ -39,23 +39,23 @@ int main() {
     const DetailedRouteResult opt_dr =
         detailed_route(*pd.design, refined.forest, opt.gr, pd.flow->options().droute);
 
-    t.add_row({pd.spec.name, fmt(base.runtime.global_route_s),
+    t.add_row({pd.spec.name, fmt(base.runtime.global_route_s()),
                Table::num(base_dr.repair_work), fmt(tsteiner_s),
                fmt(refined.grad_record.wall_s), fmt(refined.grad_replay.wall_s),
-               fmt(opt.runtime.global_route_s), Table::num(opt_dr.repair_work)});
+               fmt(opt.runtime.global_route_s()), Table::num(opt_dr.repair_work)});
     record_total += refined.grad_record.wall_s;
     replay_total += refined.grad_replay.wall_s;
     util_replay += refined.grad_replay.utilization();
     util_gr += opt.runtime.global_route.utilization();
     util_sta += opt.runtime.sta.utilization();
-    if (base.runtime.global_route_s > 1e-9) {
-      r_gr += ratio(opt.runtime.global_route_s, base.runtime.global_route_s);
+    if (base.runtime.global_route_s() > 1e-9) {
+      r_gr += ratio(opt.runtime.global_route_s(), base.runtime.global_route_s());
       r_drw += ratio(static_cast<double>(opt_dr.repair_work),
                      static_cast<double>(std::max<long long>(1, base_dr.repair_work)));
       ++counted;
     }
     tsteiner_total += tsteiner_s;
-    base_total_s += base.runtime.global_route_s + base.runtime.detailed_route_s;
+    base_total_s += base.runtime.global_route_s() + base.runtime.detailed_route_s();
   }
   t.print();
   if (counted > 0) {

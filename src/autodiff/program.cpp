@@ -222,12 +222,20 @@ void TapeProgram::set_leaf_scalar(Value leaf, double s) {
 
 void TapeProgram::replay_forward() {
   if (!finalized_) throw std::runtime_error("TapeProgram: finalize before replay");
-  if (pending_dirty_ == 0) return;
+  ++replay_counters_.forward_replays;
+  if (pending_dirty_ == 0) {
+    ++replay_counters_.full_forward_skips;
+    return;
+  }
+  std::uint64_t executed = 0;
   for (std::size_t k = 0; k < forward_schedule_.size(); ++k) {
     if (forward_mask_[k] & pending_dirty_) {
       tape_.run_forward(static_cast<std::size_t>(forward_schedule_[k]));
+      ++executed;
     }
   }
+  replay_counters_.ops_executed += executed;
+  replay_counters_.ops_skipped += forward_schedule_.size() - executed;
   pending_dirty_ = 0;
 }
 

@@ -85,6 +85,19 @@ class TapeProgram {
   /// steady-state replays (asserted in tests/replay_test.cpp).
   std::uint64_t allocation_count() const { return tape_.stats().allocations; }
 
+  /// Cumulative dirty-group effectiveness of replay_forward(). Raw counters
+  /// (no dependency on the obs layer — GradientEvaluator translates deltas
+  /// into obs metrics): how many replays ran, how many were skipped outright
+  /// because no leaf byte changed, and of the scheduled ops considered, how
+  /// many executed vs. were masked off as clean.
+  struct ReplayCounters {
+    std::uint64_t forward_replays = 0;      ///< replay_forward() calls
+    std::uint64_t full_forward_skips = 0;   ///< ... that returned with zero dirty groups
+    std::uint64_t ops_executed = 0;         ///< scheduled ops re-run
+    std::uint64_t ops_skipped = 0;          ///< scheduled ops masked off as clean
+  };
+  const ReplayCounters& replay_counters() const { return replay_counters_; }
+
  private:
   void check_mutable(Value leaf) const;
   void mark_dirty(Value leaf, bool changed);
@@ -107,6 +120,7 @@ class TapeProgram {
   std::vector<std::uint8_t> fresh_;            // by node id: first-touch flag (transient)
   std::vector<std::uint32_t> grad_stamp_;      // slot cleared/written this epoch?
   std::uint32_t epoch_ = 0;
+  ReplayCounters replay_counters_;
 };
 
 }  // namespace tsteiner

@@ -5,11 +5,16 @@
 #include <vector>
 
 #include "droute/track_assign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tsteiner {
 
 DetailedRouteResult detailed_route(const Design& design, const SteinerForest& forest,
                                    const GlobalRouteResult& gr, const DrouteOptions& options) {
+  TS_TRACE_SPAN_CAT("droute.detailed_route", "route");
+  static obs::Counter& m_runs = obs::metrics().counter("droute.runs");
+  m_runs.add();
   DetailedRouteResult result;
   const GridGraph& grid = gr.grid;
   const int nx = grid.nx();

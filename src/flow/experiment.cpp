@@ -5,6 +5,9 @@
 
 #include "flow/snapshot.hpp"
 #include "gnn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "tsteiner/random_move.hpp"
 #include "util/log.hpp"
 
@@ -29,13 +32,18 @@ int env_epochs(int fallback) {
 PreparedDesign prepare_design(const CellLibrary& lib, const BenchmarkSpec& spec, double scale,
                               const FlowOptions& flow_options,
                               const std::string& snapshot_path) {
+  TS_TRACE_SPAN_CAT("experiment.prepare_design", "flow");
+  static obs::Counter& m_snap_hit = obs::metrics().counter("db.design_snapshot_hit");
+  static obs::Counter& m_snap_miss = obs::metrics().counter("db.design_snapshot_miss");
   if (!snapshot_path.empty()) {
     if (auto restored = load_design_snapshot(snapshot_path, lib, flow_options)) {
       if (restored->spec.name == spec.name && restored->spec.seed == spec.seed) {
         TS_VERBOSE("restored %s from snapshot %s", spec.name.c_str(), snapshot_path.c_str());
+        m_snap_hit.add();
         return std::move(*restored);
       }
     }
+    m_snap_miss.add();
   }
   PreparedDesign pd;
   pd.spec = spec;
@@ -66,6 +74,14 @@ TrainingSample make_training_sample(const PreparedDesign& pd, const SteinerFores
 }
 
 TrainedSuite build_and_train_suite(const SuiteOptions& options) {
+  TS_TRACE_SPAN_CAT("experiment.build_suite", "flow");
+  static obs::Counter& m_suite_hit = obs::metrics().counter("db.suite_snapshot_hit");
+  static obs::Counter& m_suite_miss = obs::metrics().counter("db.suite_snapshot_miss");
+  static obs::Counter& m_model_hit = obs::metrics().counter("db.model_cache_hit");
+  static obs::Counter& m_model_miss = obs::metrics().counter("db.model_cache_miss");
+  if (obs::run_report_enabled()) {
+    obs::run_report().set_option("suite_options", suite_options_tag(options));
+  }
   // Whole-suite snapshot: a warm run restores designs, labels and the trained
   // evaluator from one TSteinerDB container and skips the expensive pipeline.
   std::string db_path;
@@ -73,8 +89,10 @@ TrainedSuite build_and_train_suite(const SuiteOptions& options) {
   if (!db_path.empty()) {
     if (auto restored = load_suite_snapshot(db_path, options)) {
       TS_INFO("restored trained suite from %s", db_path.c_str());
+      m_suite_hit.add();
       return std::move(*restored);
     }
+    m_suite_miss.add();
   }
 
   TrainedSuite suite;
@@ -88,6 +106,7 @@ TrainedSuite build_and_train_suite(const SuiteOptions& options) {
   // Base-sample labels are needed by every bench (baseline metrics and
   // Table III evaluation) regardless of whether training is cached.
   for (PreparedDesign& pd : suite.designs) {
+    TS_TRACE_SPAN_CAT("experiment.label_design", "flow");
     TS_INFO("labeling %s ...", pd.spec.name.c_str());
     suite.base_samples.push_back(make_training_sample(pd, pd.flow->initial_forest()));
   }
@@ -106,10 +125,12 @@ TrainedSuite build_and_train_suite(const SuiteOptions& options) {
     if (auto cached =
             load_model(cache_path, options.gnn, suite.lib->num_types(), cache_tag)) {
       TS_INFO("loaded trained evaluator from %s", cache_path.c_str());
+      m_model_hit.add();
       suite.model = std::make_unique<TimingGnn>(std::move(*cached));
       if (!db_path.empty()) save_suite_snapshot(suite, options, db_path);
       return suite;
     }
+    m_model_miss.add();
   }
 
   // Perturbed variants (same topology) expose the model to the region
@@ -134,7 +155,10 @@ TrainedSuite build_and_train_suite(const SuiteOptions& options) {
   suite.model = std::make_unique<TimingGnn>(options.gnn, suite.lib->num_types());
   Trainer trainer(suite.model.get(), options.train);
   TS_INFO("training timing evaluator on %zu samples ...", train_samples.size());
-  suite.final_train_loss = trainer.fit(train_samples);
+  {
+    TS_TRACE_SPAN_CAT("experiment.train", "flow");
+    suite.final_train_loss = trainer.fit(train_samples);
+  }
   TS_INFO("final training loss %.6f", suite.final_train_loss);
   if (!cache_path.empty()) {
     if (save_model(*suite.model, cache_path, cache_tag)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace tsteiner {
@@ -34,6 +36,7 @@ double l_route_congestion(const GridGraph& grid, const PointF& a, const PointF& 
 
 Flow::Flow(Design* design, const FlowOptions& options)
     : design_(design), options_(options) {
+  TS_TRACE_SPAN("flow.calibrate");
   // 1. Initial Steiner trees (FLUTE substitute).
   initial_forest_ = build_forest(*design_, options_.rsmt);
 
@@ -82,16 +85,16 @@ Flow Flow::from_snapshot(Design* design, const FlowOptions& options,
 FlowResult Flow::run_signoff(const SteinerForest& forest) const {
   FlowResult r;
   {
-    ScopedTimer timer(r.runtime.global_route, &r.runtime.global_route_s);
+    obs::ScopedPhase phase("flow.global_route", &r.runtime.global_route);
     r.gr = global_route(*design_, forest, options_.router);
   }
   DetailedRouteResult dr;
   {
-    ScopedTimer timer(r.runtime.detailed_route, &r.runtime.detailed_route_s);
+    obs::ScopedPhase phase("flow.detailed_route", &r.runtime.detailed_route);
     dr = detailed_route(*design_, forest, r.gr, options_.droute);
   }
   {
-    ScopedTimer timer(r.runtime.sta, &r.runtime.sta_s);
+    obs::ScopedPhase phase("flow.sta", &r.runtime.sta);
     r.sta = run_sta(*design_, forest, &r.gr, options_.sta);
   }
 

@@ -1,5 +1,7 @@
 #include "flow/iterative.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace tsteiner {
@@ -19,7 +21,10 @@ IterativeResult iterative_refine(const PreparedDesign& pd, TimingGnn* model,
   RefineOptions ropts = options.refine;
   ropts.gcell_size = pd.flow->options().router.gcell_size;
 
+  static obs::Counter& m_rounds = obs::metrics().counter("iterative.rounds");
   for (int round = 0; round < options.rounds; ++round) {
+    TS_TRACE_SPAN_CAT("iterative.round", "flow");
+    m_rounds.add();
     const RefineResult refined =
         refine_steiner_points(*pd.design, result.forest, *model, ropts);
     const FlowResult signoff = pd.flow->run_signoff(refined.forest);

@@ -7,6 +7,7 @@
 #include "db/container.hpp"
 #include "db/crc32.hpp"
 #include "gnn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace tsteiner {
@@ -168,6 +169,7 @@ std::string suite_options_tag(const SuiteOptions& options) {
 
 bool save_suite_snapshot(const TrainedSuite& suite, const SuiteOptions& options,
                          const std::string& path) {
+  TS_TRACE_SPAN_CAT("db.save_suite_snapshot", "db");
   if (suite.lib == nullptr) return false;
   db::DbWriter writer;
   if (!writer.open(path)) return false;
@@ -203,6 +205,7 @@ bool save_suite_snapshot(const TrainedSuite& suite, const SuiteOptions& options,
 
 std::optional<TrainedSuite> load_suite_snapshot(const std::string& path,
                                                 const SuiteOptions& options) {
+  TS_TRACE_SPAN_CAT("db.load_suite_snapshot", "db");
   db::DbReader reader;
   std::string error;
   if (!reader.open(path, &error)) {
@@ -284,6 +287,7 @@ std::optional<TrainedSuite> load_suite_snapshot(const std::string& path,
 
 bool save_design_snapshot(const PreparedDesign& pd, const CellLibrary& lib,
                           const std::string& path) {
+  TS_TRACE_SPAN_CAT("db.save_design_snapshot", "db");
   db::DbWriter writer;
   if (!writer.open(path)) return false;
   Meta meta;
@@ -303,6 +307,7 @@ bool save_design_snapshot(const PreparedDesign& pd, const CellLibrary& lib,
 std::optional<PreparedDesign> load_design_snapshot(const std::string& path,
                                                    const CellLibrary& lib,
                                                    const FlowOptions& options) {
+  TS_TRACE_SPAN_CAT("db.load_design_snapshot", "db");
   db::DbReader reader;
   std::string error;
   if (!reader.open(path, &error)) {

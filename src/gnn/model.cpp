@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace tsteiner {
@@ -68,6 +70,9 @@ void TimingGnn::accumulate_param_grads(const Tape& tape, const Bound& bound,
 
 Value TimingGnn::forward(Tape& tape, const GraphCache& g, const Bound& bound, Value xs,
                          Value ys) const {
+  TS_TRACE_SPAN_CAT("gnn.forward", "gnn");
+  static obs::Counter& m_forwards = obs::metrics().counter("gnn.forwards");
+  m_forwards.add();
   const auto P = [&bound](ParamId id) { return bound.handles[id]; };
   const auto S = static_cast<std::size_t>(g.num_snodes);
   const double len_scale = 1.0 / (4.0 * g.gcell);

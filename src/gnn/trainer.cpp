@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -13,6 +15,9 @@ Trainer::Trainer(TimingGnn* model, const TrainOptions& options)
       rng_(options.seed) {}
 
 double Trainer::train_epoch(std::span<TrainingSample> samples) {
+  TS_TRACE_SPAN_CAT("gnn.train_epoch", "gnn");
+  static obs::Counter& m_epochs = obs::metrics().counter("gnn.train_epochs");
+  m_epochs.add();
   std::vector<std::size_t> order(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng_.shuffle(order);

@@ -1,0 +1,57 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the observability tooling (tools/tsteiner_trace, tests/obs_test)
+// can validate the artifacts this repo *writes* — Chrome trace-event files,
+// run reports, refine JSONL — without an external dependency. It is a
+// strict-enough reader for machine-written JSON: full string escapes
+// (incl. \uXXXX), doubles via strtod, a recursion-depth cap, and a
+// trailing-garbage check. It is not a general-purpose validator (no
+// duplicate-key detection, numbers collapse to double).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tsteiner::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved (the writers emit deterministic order, and
+  /// diff output should follow it).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() + kind check conveniences for schema validation.
+  const JsonValue* find_number(std::string_view key) const;
+  const JsonValue* find_string(std::string_view key) const;
+  const JsonValue* find_array(std::string_view key) const;
+  const JsonValue* find_object(std::string_view key) const;
+  double number_or(std::string_view key, double fallback) const;
+};
+
+/// Parse one JSON document covering the whole input (trailing whitespace
+/// allowed, anything else is an error). On failure returns nullopt and, when
+/// `error` is given, a message with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error = nullptr);
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace tsteiner::obs

@@ -1,0 +1,245 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace tsteiner::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_on{false};
+
+bool metrics_init_from_env() {
+  // See trace_init_from_env(): the first counter/gauge gate reached anywhere
+  // also arms the run-report env check and its atexit writer.
+  (void)run_report_enabled();
+  if (const char* env = std::getenv("TSTEINER_METRICS")) {
+    if (*env != '\0' && std::strcmp(env, "0") != 0) {
+      g_metrics_on.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  (void)detail::metrics_on();  // fold in the env check so it cannot re-arm later
+  detail::g_metrics_on.store(on, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) {
+  if (!detail::metrics_on()) return;
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits_.store(bits, std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Gauge::reset() { bits_.store(0, std::memory_order_relaxed); }
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : hist_(lo, hi, bins) {}
+
+void HistogramMetric::observe(double x) {
+  if (!detail::metrics_on()) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  hist_.add(x);
+  ++count_;
+  sum_ += x;
+}
+
+std::uint64_t HistogramMetric::count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return count_;
+}
+
+double HistogramMetric::sum() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return sum_;
+}
+
+Histogram HistogramMetric::snapshot() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return hist_;
+}
+
+void HistogramMetric::reset() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::fill(hist_.counts.begin(), hist_.counts.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  MetricSample::Kind kind;
+  Counter counter;
+  Gauge gauge;
+  HistogramMetric histogram;
+
+  Entry(std::string n, MetricSample::Kind k, double lo, double hi, std::size_t bins)
+      : name(std::move(n)), kind(k), histogram(lo, hi, std::max<std::size_t>(1, bins)) {}
+};
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
+                                                        MetricSample::Kind kind, double lo,
+                                                        double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (Entry* e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::runtime_error("metric '" + name + "' registered with a different kind");
+      }
+      return *e;
+    }
+  }
+  entries_.push_back(new Entry(name, kind, lo, hi, bins));  // leaked by design
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kCounter, 0, 1, 1).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kGauge, 0, 1, 1).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                            std::size_t bins) {
+  return find_or_create(name, MetricSample::Kind::kHistogram, lo, hi, bins).histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    entries = entries_;
+  }
+  std::vector<MetricSample> out;
+  out.reserve(entries.size());
+  for (const Entry* e : entries) {
+    MetricSample s;
+    s.name = e->name;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricSample::Kind::kCounter:
+        s.value = static_cast<double>(e->counter.value());
+        break;
+      case MetricSample::Kind::kGauge:
+        s.value = e->gauge.value();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const Histogram h = e->histogram.snapshot();
+        s.value = e->histogram.sum();
+        s.count = e->histogram.count();
+        s.lo = h.lo;
+        s.hi = h.hi;
+        s.buckets.assign(h.counts.begin(), h.counts.end());
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out = "{";
+  for (const int kind : {0, 1, 2}) {
+    const char* section = kind == 0 ? "counters" : kind == 1 ? "gauges" : "histograms";
+    if (kind != 0) out += ",";
+    out += "\"";
+    out += section;
+    out += "\":{";
+    bool first = true;
+    for (const MetricSample& s : samples) {
+      if (static_cast<int>(s.kind) != kind) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(s.name) + "\":";
+      if (s.kind == MetricSample::Kind::kCounter) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(s.value));
+        out += buf;
+      } else if (s.kind == MetricSample::Kind::kGauge) {
+        append_number(out, s.value);
+      } else {
+        out += "{\"lo\":";
+        append_number(out, s.lo);
+        out += ",\"hi\":";
+        append_number(out, s.hi);
+        out += ",\"count\":";
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(s.count));
+        out += buf;
+        out += ",\"sum\":";
+        append_number(out, s.value);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i != 0) out += ",";
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(s.buckets[i]));
+          out += buf;
+        }
+        out += "]}";
+      }
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::vector<Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    entries = entries_;
+  }
+  for (Entry* e : entries) {
+    e->counter.reset();
+    e->gauge.reset();
+    e->histogram.reset();
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: see Entry lifetime
+  return *r;
+}
+
+}  // namespace tsteiner::obs

@@ -1,0 +1,123 @@
+// Named metrics registry: counters, gauges, and fixed-bucket histograms
+// (built on util/stats.hpp's Histogram) for the flow's hot paths.
+//
+// Usage pattern — register once per call site, then touch the instrument
+// directly (no per-call name lookup):
+//
+//   static obs::Counter& accepted = obs::metrics().counter("refine.iter_accepted");
+//   accepted.add();
+//
+// Collection is gated on TSTEINER_METRICS=1 (or set_metrics_enabled): a
+// disabled Counter::add is one relaxed atomic load. Instruments are
+// process-global and deterministic — the same run produces the same
+// snapshot at any pool width, because every increment site is itself
+// deterministic (tests/obs_test.cpp). Snapshots serialize name-sorted so
+// two runs can be diffed mechanically (tools/tsteiner_trace diff).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace tsteiner::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_on;
+bool metrics_init_from_env();
+inline bool metrics_on() {
+  static const bool env_checked = metrics_init_from_env();
+  (void)env_checked;
+  return g_metrics_on.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+inline bool metrics_enabled() { return detail::metrics_on(); }
+void set_metrics_enabled(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (detail::metrics_on()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double (theta, lambda, overflow). Stored as bit-cast u64
+/// so concurrent set/read is tear-free.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-width buckets over [lo, hi]; out-of-range observations clamp into
+/// the edge buckets (util/stats.hpp semantics). observe() takes a mutex —
+/// keep histograms off per-element inner loops.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins);
+  void observe(double x);
+  std::uint64_t count() const;
+  double sum() const;
+  Histogram snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram hist_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One serialized instrument (snapshot/report/diff view).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;           ///< counter value / gauge value / histogram sum
+  std::uint64_t count = 0;      ///< histogram observation count
+  double lo = 0.0, hi = 0.0;    ///< histogram range
+  std::vector<std::uint64_t> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  /// Idempotent by name; the returned reference is stable for the process
+  /// lifetime. Registering the same name as a different kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, double lo, double hi, std::size_t bins);
+
+  /// Name-sorted values of every registered instrument.
+  std::vector<MetricSample> snapshot() const;
+  /// The snapshot as a JSON object string: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} — deterministic for a deterministic run.
+  std::string to_json() const;
+  /// Zero all instrument values (registration survives). Tests / benches.
+  void reset_values();
+
+ private:
+  struct Entry;
+  Entry& find_or_create(const std::string& name, MetricSample::Kind kind, double lo,
+                        double hi, std::size_t bins);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry*> entries_;  // leaked: instrument refs outlive everything
+};
+
+/// Process-global registry.
+MetricsRegistry& metrics();
+
+}  // namespace tsteiner::obs

@@ -1,0 +1,304 @@
+#include "obs/report.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace tsteiner::obs {
+
+namespace {
+
+void fmt_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_iteration_json(std::string& out, const std::string& design,
+                           const RefineIterationRecord& r) {
+  out += "{\"design\":\"" + json_escape(design) + "\",\"iter\":";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%d", r.iter);
+  out += buf;
+  const auto field = [&out](const char* key, double v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    fmt_number(out, v);
+  };
+  field("wns", r.wns);
+  field("tns", r.tns);
+  field("best_wns", r.best_wns);
+  field("best_tns", r.best_tns);
+  out += ",\"accept\":";
+  out += r.accepted ? "true" : "false";
+  field("theta", r.theta);
+  field("grad_norm", r.grad_norm);
+  field("max_move", r.max_move);
+  field("lambda_w", r.lambda_w);
+  field("lambda_t", r.lambda_t);
+  field("wall_s", r.wall_s);
+  out += "}";
+}
+
+// --- iteration log state ---------------------------------------------------
+
+struct IterLogState {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+  bool armed = false;
+};
+
+IterLogState& iter_log_state() {
+  static IterLogState* s = new IterLogState();
+  return *s;
+}
+
+std::atomic<bool> g_iter_log_on{false};
+
+bool iter_log_init_from_env() {
+  if (const char* env = std::getenv("TSTEINER_REFINE_LOG")) {
+    if (*env != '\0') set_iteration_log_path(env);
+  }
+  return true;
+}
+
+void ensure_iter_log_env() {
+  static const bool once = iter_log_init_from_env();
+  (void)once;
+}
+
+// --- run report state ------------------------------------------------------
+
+struct ReportState {
+  std::mutex mutex;
+  std::string path;
+};
+
+ReportState& report_state() {
+  static ReportState* s = new ReportState();
+  return *s;
+}
+
+std::atomic<bool> g_report_on{false};
+
+void report_flush_at_exit() { flush_run_report(); }
+
+void arm_report_atexit() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(report_flush_at_exit); });
+}
+
+bool report_init_from_env() {
+  if (const char* env = std::getenv("TSTEINER_RUN_REPORT")) {
+    if (*env != '\0') set_run_report_path(env);
+  }
+  return true;
+}
+
+void ensure_report_env() {
+  static const bool once = report_init_from_env();
+  (void)once;
+}
+
+}  // namespace
+
+// --- JSONL iteration stream ------------------------------------------------
+
+bool iteration_log_enabled() {
+  ensure_iter_log_env();
+  return g_iter_log_on.load(std::memory_order_relaxed);
+}
+
+void set_iteration_log_path(const std::string& path) {
+  IterLogState& s = iter_log_state();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  if (!path.empty()) s.file = std::fopen(path.c_str(), "w");
+  g_iter_log_on.store(s.file != nullptr, std::memory_order_relaxed);
+}
+
+void log_refine_iteration(const std::string& design, const RefineIterationRecord& rec) {
+  if (!iteration_log_enabled()) return;
+  std::string line;
+  line.reserve(256);
+  append_iteration_json(line, design, rec);
+  line += "\n";
+  IterLogState& s = iter_log_state();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  if (s.file == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fflush(s.file);  // per-line flush: a killed run keeps a readable prefix
+}
+
+// --- run report ------------------------------------------------------------
+
+void RunReport::add_phase(const std::string& name, const PhaseStat& delta) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (PhaseAgg& p : phases_) {
+    if (p.name == name) {
+      p.stat.wall_s += delta.wall_s;
+      p.stat.busy_s += delta.busy_s;
+      ++p.count;
+      return;
+    }
+  }
+  phases_.push_back({name, delta, 1});
+}
+
+void RunReport::add_refine(RefineRunRecord rec) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  refines_.push_back(std::move(rec));
+}
+
+void RunReport::set_option(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [k, v] : options_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  options_.emplace_back(key, value);
+}
+
+std::string RunReport::to_json() const {
+  std::vector<PhaseAgg> phases;
+  std::vector<RefineRunRecord> refines;
+  std::vector<std::pair<std::string, std::string>> options;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    phases = phases_;
+    refines = refines_;
+    options = options_;
+  }
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n\"tsteiner_run_report\":1,\n\"schema_version\":1,\n";
+
+  out += "\"options\":{";
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + json_escape(options[i].first) + "\":\"" +
+           json_escape(options[i].second) + "\"";
+  }
+  out += "},\n";
+
+  out += "\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseAgg& p = phases[i];
+    if (i != 0) out += ",";
+    out += "\n{\"name\":\"" + json_escape(p.name) + "\",\"wall_s\":";
+    fmt_number(out, p.stat.wall_s);
+    out += ",\"busy_s\":";
+    fmt_number(out, p.stat.busy_s);
+    out += ",\"utilization\":";
+    fmt_number(out, p.stat.utilization());
+    out += ",\"count\":";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(p.count));
+    out += buf;
+    out += "}";
+  }
+  out += "\n],\n";
+
+  out += "\"refine\":[";
+  for (std::size_t i = 0; i < refines.size(); ++i) {
+    const RefineRunRecord& r = refines[i];
+    if (i != 0) out += ",";
+    out += "\n{\"design\":\"" + json_escape(r.design) + "\",\"iterations\":";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%d", r.iterations);
+    out += buf;
+    out += ",\"converged_by_ratio\":";
+    out += r.converged_by_ratio ? "true" : "false";
+    const auto field = [&out](const char* key, double v) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      fmt_number(out, v);
+    };
+    field("init_wns", r.init_wns);
+    field("init_tns", r.init_tns);
+    field("best_wns", r.best_wns);
+    field("best_tns", r.best_tns);
+    field("theta", r.theta);
+    out += ",\"iters\":[";
+    for (std::size_t k = 0; k < r.iters.size(); ++k) {
+      if (k != 0) out += ",";
+      out += "\n";
+      append_iteration_json(out, r.design, r.iters[k]);
+    }
+    out += "]}";
+  }
+  out += "\n],\n";
+
+  out += "\"metrics\":" + metrics().to_json() + "\n}\n";
+  return out;
+}
+
+bool RunReport::write(const std::string& path) const {
+  const std::string text = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+void RunReport::reset() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  phases_.clear();
+  refines_.clear();
+  options_.clear();
+}
+
+RunReport& run_report() {
+  static RunReport* r = new RunReport();
+  return *r;
+}
+
+bool run_report_enabled() {
+  ensure_report_env();
+  return g_report_on.load(std::memory_order_relaxed);
+}
+
+void set_run_report_path(const std::string& path) {
+  ReportState& s = report_state();
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    s.path = path;
+  }
+  if (!path.empty()) arm_report_atexit();
+  g_report_on.store(!path.empty(), std::memory_order_relaxed);
+}
+
+const std::string& run_report_path() {
+  ensure_report_env();
+  return report_state().path;
+}
+
+bool flush_run_report() {
+  ReportState& s = report_state();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    path = s.path;
+  }
+  if (path.empty()) return false;
+  return run_report().write(path);
+}
+
+}  // namespace tsteiner::obs

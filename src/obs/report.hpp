@@ -1,0 +1,101 @@
+// Machine-readable run artifacts: the per-iteration refine JSONL stream and
+// the final run report (tsteiner_run.json).
+//
+// The JSONL stream (TSTEINER_REFINE_LOG=<path>, or set_iteration_log_path)
+// gets one line per refinement iteration, flushed per line so a crashed or
+// killed run still leaves a readable prefix:
+//
+//   {"design":"d1","iter":0,"wns":-1.2,"tns":-40.1,"best_wns":-1.2,
+//    "best_tns":-40.1,"accept":true,"theta":0.5,"grad_norm":0.8,
+//    "max_move":3.0,"lambda_w":-200.0,"lambda_t":-2.0,"wall_s":0.004}
+//
+// The run report (TSTEINER_RUN_REPORT=<path>, or set_run_report_path; written
+// at process exit and on flush_run_report()) merges everything one run
+// produces: accumulated named phases (wall + busy seconds, call counts),
+// every RefineResult's summary and iteration telemetry, the metrics registry
+// snapshot, and options fingerprints — a single source of truth that
+// tools/tsteiner_trace verify/summarize/diff operate on. Schema documented
+// in docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace tsteiner::obs {
+
+/// One refinement iteration, as logged by refine_steiner_points. Mirrored
+/// into RefineResult::iteration_log so callers can post-process without
+/// re-parsing the JSONL.
+struct RefineIterationRecord {
+  int iter = 0;
+  double wns = 0.0, tns = 0.0;            ///< model-evaluated, this iterate
+  double best_wns = 0.0, best_tns = 0.0;  ///< keep-best after this iteration
+  bool accepted = false;
+  double theta = 0.0;      ///< optimizer stepsize entering the iteration
+  double grad_norm = 0.0;  ///< L2 of the gradient used this iteration
+  double max_move = 0.0;   ///< largest per-point displacement applied (DBU)
+  double lambda_w = 0.0, lambda_t = 0.0;
+  double wall_s = 0.0;
+};
+
+/// Summary of one refine_steiner_points call for the run report.
+struct RefineRunRecord {
+  std::string design;
+  int iterations = 0;
+  bool converged_by_ratio = false;
+  double init_wns = 0.0, init_tns = 0.0;
+  double best_wns = 0.0, best_tns = 0.0;
+  double theta = 0.0;
+  std::vector<RefineIterationRecord> iters;
+};
+
+// --- JSONL iteration stream ------------------------------------------------
+
+bool iteration_log_enabled();
+/// Redirect (or, with "", disable) the stream; truncates the file.
+void set_iteration_log_path(const std::string& path);
+void log_refine_iteration(const std::string& design, const RefineIterationRecord& rec);
+
+// --- run report ------------------------------------------------------------
+
+class RunReport {
+ public:
+  /// Accumulate a phase interval under `name` (wall/busy sums + call count).
+  void add_phase(const std::string& name, const PhaseStat& delta);
+  void add_refine(RefineRunRecord rec);
+  /// Options fingerprints and free-form annotations ("suite_options", ...).
+  void set_option(const std::string& key, const std::string& value);
+
+  /// Serialize (phases + refines + options + a fresh metrics snapshot).
+  std::string to_json() const;
+  bool write(const std::string& path) const;
+  void reset();
+
+ private:
+  struct PhaseAgg {
+    std::string name;
+    PhaseStat stat;
+    std::uint64_t count = 0;
+  };
+  mutable std::mutex mutex_;
+  std::vector<PhaseAgg> phases_;  // insertion order
+  std::vector<RefineRunRecord> refines_;
+  std::vector<std::pair<std::string, std::string>> options_;
+};
+
+RunReport& run_report();
+
+/// True when a report path is configured (TSTEINER_RUN_REPORT or
+/// set_run_report_path) — instrumentation feeds the collector only then.
+bool run_report_enabled();
+void set_run_report_path(const std::string& path);  ///< "" disables
+const std::string& run_report_path();
+/// Write the report to the configured path now (also runs at process exit).
+bool flush_run_report();
+
+}  // namespace tsteiner::obs

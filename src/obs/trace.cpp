@@ -1,0 +1,219 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/parallel.hpp"
+
+namespace tsteiner::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;      // literal name, or
+  std::string dynamic_name;        // owned copy (used when name == nullptr)
+  const char* cat = "flow";
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t lane = 1;
+};
+
+/// Per-thread event buffer. Appends are uncontended (each thread owns its
+/// buffer); the flush walks all buffers under the registry lock, taking each
+/// buffer's own mutex so it can run concurrently with live spans.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t lane = 1;
+};
+
+struct TraceState {
+  std::mutex mutex;                       // guards path, buffers registry
+  std::string path;
+  std::vector<ThreadBuffer*> buffers;     // leaked at exit (threads may outlive us)
+  std::atomic<std::uint32_t> next_foreign_lane{100};
+  std::atomic<std::size_t> event_count{0};
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+/// Leaked singleton: flush runs from atexit, after which thread-local buffer
+/// destructors of detached threads could still fire — never destroy it.
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+std::uint32_t lane_for_this_thread() {
+  const int worker = parallel_worker_index();
+  if (worker > 0) return static_cast<std::uint32_t>(worker) + 1;
+  static thread_local std::uint32_t lane = 0;
+  if (lane == 0) {
+    static std::atomic<bool> main_taken{false};
+    lane = !main_taken.exchange(true) ? 1
+                                      : state().next_foreign_lane.fetch_add(
+                                            1, std::memory_order_relaxed);
+  }
+  return lane;
+}
+
+ThreadBuffer& buffer_for_this_thread() {
+  static thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    buf = new ThreadBuffer();  // leaked: flushed events must survive thread exit
+    buf->lane = lane_for_this_thread();
+    std::lock_guard<std::mutex> lk(state().mutex);
+    state().buffers.push_back(buf);
+  }
+  return *buf;
+}
+
+void flush_at_exit() { flush_trace(); }
+
+void arm_atexit() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(flush_at_exit); });
+}
+
+const char* lane_name(std::uint32_t lane, char* buf, std::size_t n) {
+  if (lane == 1) return "main";
+  if (lane < 100) {
+    std::snprintf(buf, n, "pool-worker-%u", lane - 1);
+  } else {
+    std::snprintf(buf, n, "thread-%u", lane - 100);
+  }
+  return buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_trace_on{false};
+
+bool trace_init_from_env() {
+  // Piggyback the run-report env check: the report's atexit writer must arm
+  // even in binaries that never consult run_report_enabled() themselves
+  // (e.g. ones that only hit span/counter sites), and the first span
+  // constructed anywhere lands here exactly once.
+  (void)run_report_enabled();
+  if (const char* env = std::getenv("TSTEINER_TRACE")) {
+    if (*env != '\0') {
+      enable_trace(env);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - state().epoch)
+                                        .count());
+}
+
+void record_span(const char* name, const std::string* dynamic_name, const char* category,
+                 std::uint64_t start_ns, std::uint64_t end_ns) {
+  ThreadBuffer& buf = buffer_for_this_thread();
+  TraceEvent ev;
+  ev.name = name;
+  if (dynamic_name != nullptr) ev.dynamic_name = *dynamic_name;
+  ev.cat = category;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.lane = buf.lane;
+  {
+    std::lock_guard<std::mutex> lk(buf.mutex);
+    buf.events.push_back(std::move(ev));
+  }
+  state().event_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+TraceSpan::TraceSpan(const std::string& name, const char* category) noexcept {
+  if (detail::trace_on()) {
+    owned_ = new std::string(name);
+    cat_ = category;
+    start_ns_ = detail::trace_now_ns();
+  }
+}
+
+void enable_trace(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(state().mutex);
+    state().path = path;
+  }
+  arm_atexit();
+  detail::g_trace_on.store(true, std::memory_order_relaxed);
+}
+
+void disable_trace() {
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  flush_trace();
+}
+
+bool flush_trace() {
+  TraceState& s = state();
+  std::string path;
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    path = s.path;
+    buffers = s.buffers;
+  }
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  bool first = true;
+  std::vector<std::uint32_t> lanes;
+  for (ThreadBuffer* buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mutex);
+    if (!buf->events.empty()) lanes.push_back(buf->lane);
+    for (const TraceEvent& ev : buf->events) {
+      const std::string name = ev.name != nullptr ? json_escape(ev.name)
+                                                  : json_escape(ev.dynamic_name);
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                   "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                   first ? "" : ",\n", name.c_str(), json_escape(ev.cat).c_str(),
+                   static_cast<double>(ev.start_ns) * 1e-3,
+                   static_cast<double>(ev.dur_ns) * 1e-3, ev.lane);
+      first = false;
+    }
+  }
+  char namebuf[48];
+  for (const std::uint32_t lane : lanes) {
+    std::fprintf(f,
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",\n", lane, lane_name(lane, namebuf, sizeof(namebuf)));
+    first = false;
+  }
+  std::fputs("\n]}\n", f);
+  return std::fclose(f) == 0;
+}
+
+std::size_t trace_event_count() {
+  return state().event_count.load(std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  for (ThreadBuffer* buf : s.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mutex);
+    buf->events.clear();
+  }
+  s.path.clear();
+  s.event_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tsteiner::obs

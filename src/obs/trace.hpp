@@ -1,0 +1,109 @@
+// Scoped span tracer emitting Chrome/Perfetto trace-event JSON.
+//
+// Every instrumented region constructs a TraceSpan (usually via
+// TS_TRACE_SPAN). When tracing is disabled — the default — construction and
+// destruction cost one relaxed atomic load each: no allocation, no clock
+// read, no syscall (asserted in tests/obs_test.cpp). When enabled (the
+// TSTEINER_TRACE=<path> environment variable, or enable_trace()), spans are
+// buffered per thread and flushed as complete "X" events into a single JSON
+// file that chrome://tracing and https://ui.perfetto.dev open directly.
+//
+// Thread ids integrate with the deterministic pool (util/parallel): lane 1
+// is the calling/main thread, lanes 2..N+1 are pool workers 1..N, and any
+// other thread gets a lane from 100 up. Thread-name metadata events label
+// the lanes. Spans nest by time containment per lane, which holds by
+// construction for scoped spans on one thread.
+//
+// Span names must outlive the flush; pass string literals (the common case)
+// or use the owning std::string overload for dynamic names.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tsteiner::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+/// Reads TSTEINER_TRACE once and arms the tracer when set. Returns the
+/// enabled flag after initialization.
+bool trace_init_from_env();
+/// One-time env check folded into the fast path: after the first call the
+/// cost is the relaxed load alone.
+inline bool trace_on() {
+  static const bool env_checked = trace_init_from_env();
+  (void)env_checked;
+  return g_trace_on.load(std::memory_order_relaxed);
+}
+void record_span(const char* name, const std::string* dynamic_name, const char* category,
+                 std::uint64_t start_ns, std::uint64_t end_ns);
+std::uint64_t trace_now_ns();
+}  // namespace detail
+
+/// Whether spans are currently being recorded.
+inline bool trace_enabled() { return detail::trace_on(); }
+
+/// Start recording spans; they flush to `path` (overwritten) on
+/// disable_trace(), flush_trace(), or process exit. Previously buffered
+/// events are kept, so disable/enable cycles accumulate into one file.
+void enable_trace(const std::string& path);
+
+/// Stop recording and flush buffered events to the configured path.
+void disable_trace();
+
+/// Write all buffered events to the configured path (valid, complete JSON —
+/// callable mid-run). Returns false when no path is configured or the file
+/// cannot be written.
+bool flush_trace();
+
+/// Number of completed spans buffered so far (tests).
+std::size_t trace_event_count();
+
+/// Drop all buffered events and the configured path (tests / benches that
+/// measure multiple modes in one process).
+void reset_trace();
+
+class TraceSpan {
+ public:
+  /// `name` must be a string literal (or outlive the flush).
+  explicit TraceSpan(const char* name, const char* category = "flow") noexcept {
+    if (detail::trace_on()) {
+      name_ = name;
+      cat_ = category;
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  /// Owning overload for dynamic names (design names etc.); copies only when
+  /// tracing is enabled.
+  TraceSpan(const std::string& name, const char* category) noexcept;
+
+  ~TraceSpan() {
+    // Flushing between construction and destruction can only drop this span,
+    // never corrupt the file; the enabled check is deliberately re-taken so
+    // a span open across disable_trace() is simply not recorded.
+    if ((name_ != nullptr || owned_ != nullptr) && detail::trace_on()) {
+      detail::record_span(name_, owned_, cat_, start_ns_, detail::trace_now_ns());
+    }
+    delete owned_;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const std::string* owned_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace tsteiner::obs
+
+#define TS_TRACE_PASTE2(a, b) a##b
+#define TS_TRACE_PASTE(a, b) TS_TRACE_PASTE2(a, b)
+/// A scoped span for the rest of the enclosing block.
+#define TS_TRACE_SPAN(name) ::tsteiner::obs::TraceSpan TS_TRACE_PASTE(ts_span_, __LINE__)(name)
+#define TS_TRACE_SPAN_CAT(name, cat) \
+  ::tsteiner::obs::TraceSpan TS_TRACE_PASTE(ts_span_, __LINE__)(name, cat)

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 
@@ -193,6 +195,12 @@ double p90(std::vector<double> xs) {
 
 GlobalRouteResult global_route(const Design& design, const SteinerForest& forest,
                                const RouterOptions& options) {
+  TS_TRACE_SPAN_CAT("route.global", "route");
+  static obs::Counter& m_runs = obs::metrics().counter("route.global_runs");
+  static obs::Counter& m_ripups = obs::metrics().counter("route.ripups");
+  static obs::Counter& m_rrr_rounds = obs::metrics().counter("route.rrr_rounds");
+  static obs::Gauge& m_overflow = obs::metrics().gauge("route.total_overflow");
+  m_runs.add();
   GlobalRouteResult result{GridGraph(design.die(), options.gcell_size), {}, {}, 0, 0, 0, 0, 0, 0};
   GridGraph& grid = result.grid;
 
@@ -295,6 +303,8 @@ GlobalRouteResult global_route(const Design& design, const SteinerForest& forest
       if (hit_flags[c]) victims.push_back(static_cast<int>(c));
     }
     if (victims.empty()) break;
+    m_ripups.add(victims.size());
+    m_rrr_rounds.add();
     for (int c : victims) {
       RoutedConnection& conn = result.connections[static_cast<std::size_t>(c)];
       rip_up(grid, conn.path);
@@ -321,6 +331,7 @@ GlobalRouteResult global_route(const Design& design, const SteinerForest& forest
   for (double len : conn_len) result.wirelength_dbu += len;
   result.total_overflow = grid.total_overflow();
   result.overflowed_edges = grid.num_overflowed_edges();
+  m_overflow.set(result.total_overflow);
   return result;
 }
 

@@ -6,6 +6,9 @@
 #include <queue>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tsteiner {
 
 IncrementalSta::IncrementalSta(const Design& design, const StaOptions& options)
@@ -25,6 +28,7 @@ IncrementalSta::IncrementalSta(const Design& design, const StaOptions& options)
 
 const StaResult& IncrementalSta::analyze(const SteinerForest& forest,
                                          const GlobalRouteResult* gr) {
+  TS_TRACE_SPAN_CAT("sta.incremental_analyze", "sta");
   forest_ = &forest;
   gr_ = gr;
   result_ = run_sta(*design_, forest, gr, options_);
@@ -104,6 +108,9 @@ void IncrementalSta::refresh_endpoints() {
 const StaResult& IncrementalSta::update(const SteinerForest& forest,
                                         const GlobalRouteResult* gr,
                                         const std::vector<int>& dirty_nets) {
+  TS_TRACE_SPAN_CAT("sta.incremental_update", "sta");
+  static obs::Counter& m_updates = obs::metrics().counter("sta.incremental_updates");
+  m_updates.add();
   forest_ = &forest;
   gr_ = gr;
   last_cells_ = 0;
@@ -189,6 +196,8 @@ const StaResult& IncrementalSta::update(const SteinerForest& forest,
       if (slew > options_.max_slew_ns) ++result_.num_slew_violations;
     }
   }
+  static obs::Counter& m_cells = obs::metrics().counter("sta.incremental_cells");
+  m_cells.add(static_cast<std::uint64_t>(std::max<long long>(0, last_cells_)));
   return result_;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace tsteiner {
@@ -19,6 +21,9 @@ double StaResult::slack_of(int pin_id) const {
 StaResult run_sta(const Design& design, const SteinerForest& forest,
                   const GlobalRouteResult* gr, const StaOptions& options,
                   const LayerAssignment* layers) {
+  TS_TRACE_SPAN_CAT("sta.full", "sta");
+  static obs::Counter& m_full_runs = obs::metrics().counter("sta.full_runs");
+  m_full_runs.add();
   const std::size_t num_pins = design.pins().size();
   StaResult res;
   res.arrival.assign(num_pins, 0.0);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace tsteiner {
 
 namespace {
@@ -87,7 +89,21 @@ GradientResult GradientEvaluator::replay(const std::vector<double>& xs,
   program_.set_leaf(vy_, ys);
   program_.set_leaf_scalar(lambda_w_, weights.lambda_w);
   program_.set_leaf_scalar(lambda_t_, weights.lambda_t);
+  const TapeProgram::ReplayCounters before = program_.replay_counters();
   program_.replay_forward();
+  if (obs::metrics_enabled()) {
+    // Surface the dirty-group effectiveness of this replay (autodiff itself
+    // stays obs-free; the raw counters live on the program).
+    const TapeProgram::ReplayCounters& after = program_.replay_counters();
+    static obs::Counter& m_replays = obs::metrics().counter("grad.replay_forwards");
+    static obs::Counter& m_skips = obs::metrics().counter("grad.replay_full_skips");
+    static obs::Counter& m_ops_run = obs::metrics().counter("grad.replay_ops_executed");
+    static obs::Counter& m_ops_skip = obs::metrics().counter("grad.replay_ops_skipped");
+    m_replays.add(after.forward_replays - before.forward_replays);
+    m_skips.add(after.full_forward_skips - before.full_forward_skips);
+    m_ops_run.add(after.ops_executed - before.ops_executed);
+    m_ops_skip.add(after.ops_skipped - before.ops_skipped);
+  }
 
   GradientResult r;
   r.penalty = program_.value(penalty_)[0];

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "tsteiner/gradient.hpp"
 #include "util/log.hpp"
 
@@ -41,6 +44,14 @@ double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Des
 
 RefineResult refine_steiner_points(const Design& design, const SteinerForest& initial,
                                    const TimingGnn& model, const RefineOptions& options) {
+  TS_TRACE_SPAN_CAT("tsteiner.refine", "tsteiner");
+  static obs::Counter& m_iterations = obs::metrics().counter("refine.iterations");
+  static obs::Counter& m_accepted = obs::metrics().counter("refine.iter_accepted");
+  static obs::Counter& m_rejected = obs::metrics().counter("refine.iter_rejected");
+  static obs::Counter& m_backtracks = obs::metrics().counter("refine.backtracks");
+  static obs::Gauge& m_theta = obs::metrics().gauge("refine.theta");
+  static obs::Gauge& m_lambda_w = obs::metrics().gauge("refine.lambda_w");
+  static obs::Gauge& m_lambda_t = obs::metrics().gauge("refine.lambda_t");
   RefineResult result;
   result.forest = initial;
   result.forest.build_movable_index();
@@ -55,11 +66,13 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
   // every gradient/evaluation below is an in-place replay of it.
   std::optional<GradientEvaluator> evaluator;
   {
+    TS_TRACE_SPAN_CAT("refine.record", "tsteiner");
     ScopedTimer timer(result.grad_record);
     evaluator.emplace(model, *cache, design, xs, ys, weights);
   }
   GradientResult init;
   {
+    TS_TRACE_SPAN_CAT("refine.gradient", "tsteiner");
     ScopedTimer timer(result.grad_replay);
     init = evaluator->gradients(xs, ys, weights);
   }
@@ -81,6 +94,7 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
   // historical duplicate gradient evaluation is gone.
   double theta = options.fixed_theta;
   if (options.use_adaptive_theta) {
+    TS_TRACE_SPAN_CAT("refine.adaptive_theta", "tsteiner");
     ScopedTimer timer(result.grad_replay);
     theta = adaptive_theta(*evaluator, xs, ys, weights, options.alpha, init);
   }
@@ -121,29 +135,57 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
     }
   };
 
+  // Scratch copies of the pre-step iterate, for the applied-move telemetry.
+  std::vector<double> prev_xs, prev_ys;
+
   int t = 0;
   while (true) {
+    TS_TRACE_SPAN_CAT("refine.iteration", "tsteiner");
+    WallTimer iter_timer;
+    obs::RefineIterationRecord rec;
+    rec.iter = t;
+    rec.theta = so.theta();
     // lambda schedule: +1% per iteration from lambda_growth_start on.
     if (t >= options.lambda_growth_start) {
       weights.lambda_w *= 1.0 + options.lambda_growth;
       weights.lambda_t *= 1.0 + options.lambda_growth;
     }
+    rec.lambda_w = weights.lambda_w;
+    rec.lambda_t = weights.lambda_t;
     GradientResult g;
     {
+      TS_TRACE_SPAN_CAT("refine.gradient", "tsteiner");
       ScopedTimer timer(result.grad_replay);
       g = evaluator->gradients(xs, ys, weights);
     }
+    double grad_sq = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      grad_sq += g.grad_x[i] * g.grad_x[i] + g.grad_y[i] * g.grad_y[i];
+    }
+    rec.grad_norm = std::sqrt(grad_sq);
+    prev_xs = xs;
+    prev_ys = ys;
     so.step(xs, g.grad_x, max_step);
     so.step(ys, g.grad_y, max_step);
     clamp_all();
+    double max_move = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double dx = xs[i] - prev_xs[i];
+      const double dy = ys[i] - prev_ys[i];
+      max_move = std::max(max_move, dx * dx + dy * dy);
+    }
+    rec.max_move = std::sqrt(max_move);
 
     GradientResult cur;
     {
+      TS_TRACE_SPAN_CAT("refine.evaluate", "tsteiner");
       ScopedTimer timer(result.grad_replay);
       cur = evaluator->evaluate(xs, ys, weights);
     }
     result.wns_trace.push_back(cur.eval_wns_ns);
     result.tns_trace.push_back(cur.eval_tns_ns);
+    rec.wns = cur.eval_wns_ns;
+    rec.tns = cur.eval_tns_ns;
     const double tol_wns = options.accept_tolerance * std::abs(result.init_wns);
     const double tol_tns = options.accept_tolerance * std::abs(result.init_tns);
     if (cur.eval_wns_ns > best_wns + tol_wns || cur.eval_tns_ns > best_tns + tol_tns) {
@@ -151,6 +193,8 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
       best_tns = std::max(best_tns, cur.eval_tns_ns);
       best_xs = xs;
       best_ys = ys;
+      rec.accepted = true;
+      m_accepted.add();
       if (options.theta_backtrack < 1.0) {
         so.set_theta(std::min(result.theta,
                               so.theta() / std::pow(options.theta_backtrack, 0.25)));
@@ -158,10 +202,21 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
     } else {
       xs = best_xs;  // restore S_T^(t) from the previous accepted iterate
       ys = best_ys;
+      m_rejected.add();
       if (options.theta_backtrack < 1.0) {
         so.set_theta(std::max(1e-4, so.theta() * options.theta_backtrack));
+        m_backtracks.add();
       }
     }
+    rec.best_wns = best_wns;
+    rec.best_tns = best_tns;
+    rec.wall_s = iter_timer.seconds();
+    m_iterations.add();
+    m_theta.set(so.theta());
+    m_lambda_w.set(weights.lambda_w);
+    m_lambda_t.set(weights.lambda_t);
+    if (obs::iteration_log_enabled()) obs::log_refine_iteration(design.name(), rec);
+    result.iteration_log.push_back(rec);
     ++t;
     if (t >= options.max_iterations) break;
     const auto improved = [&](double init_v, double best_v) {
@@ -190,6 +245,19 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
   result.forest.scatter_xy(best_xs, best_ys);
   result.forest.clamp_steiner_points(boundary);
   if (options.round_positions) result.forest.round_steiner_points();
+  if (obs::run_report_enabled()) {
+    obs::RefineRunRecord run;
+    run.design = design.name();
+    run.iterations = result.iterations;
+    run.converged_by_ratio = result.converged_by_ratio;
+    run.init_wns = result.init_wns;
+    run.init_tns = result.init_tns;
+    run.best_wns = result.best_wns;
+    run.best_tns = result.best_tns;
+    run.theta = result.theta;
+    run.iters = result.iteration_log;
+    obs::run_report().add_refine(std::move(run));
+  }
   TS_VERBOSE("TSteiner %s: %d iters, WNS %.3f -> %.3f, TNS %.1f -> %.1f (model eval)",
              design.name().c_str(), t, result.init_wns, best_wns, result.init_tns, best_tns);
   return result;

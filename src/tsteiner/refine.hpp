@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gnn/model.hpp"
+#include "obs/report.hpp"
 #include "steiner/steiner_tree.hpp"
 #include "tsteiner/gradient.hpp"
 #include "tsteiner/optimizer.hpp"
@@ -67,6 +68,12 @@ struct RefineResult {
   double init_wns = 0.0, init_tns = 0.0;
   double best_wns = 0.0, best_tns = 0.0;
   std::vector<double> wns_trace, tns_trace;
+  /// Full per-iteration telemetry (superset of wns_trace/tns_trace): theta,
+  /// gradient norm, applied move, lambda schedule, accept decision, and
+  /// per-iteration wall time. Always populated; also streamed as JSONL when
+  /// TSTEINER_REFINE_LOG is set and embedded in the TSTEINER_RUN_REPORT
+  /// artifact (docs/observability.md).
+  std::vector<obs::RefineIterationRecord> iteration_log;
   /// Runtime split of the gradient work (Table-IV style): one-time program
   /// recording vs. the per-iteration replays the retained mode reduces the
   /// loop to.

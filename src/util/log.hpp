@@ -3,6 +3,13 @@
 // Verbosity is controlled globally (set_log_level) and via the environment
 // variable TSTEINER_LOG (0 = silent .. 3 = debug). Tests default to silent so
 // ctest output stays readable.
+//
+// Emission is thread-safe: each call formats its complete line once and
+// writes it with a single fwrite under a mutex, so lines from concurrent
+// pool workers never interleave. Verbose/debug lines carry a
+// "[<uptime-seconds> t<thread-index>]" prefix (monotonic clock since the
+// first log call; thread index 0 = main, 1.. = pool workers as reported by
+// parallel_worker_index()).
 #pragma once
 
 #include <cstdio>

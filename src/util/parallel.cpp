@@ -17,6 +17,9 @@ namespace {
 /// pool.
 thread_local bool tl_in_parallel_region = false;
 
+/// 0 = not a pool thread; workers get 1..width-1 at spawn.
+thread_local int tl_worker_index = 0;
+
 std::atomic<std::uint64_t> g_busy_ns{0};
 
 std::size_t default_width() {
@@ -119,7 +122,11 @@ class Pool {
       shutdown_ = false;
     }
     while (workers_.size() < target) {
-      workers_.emplace_back([this] { worker_loop(); });
+      const int index = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, index] {
+        tl_worker_index = index;
+        worker_loop();
+      });
     }
   }
 
@@ -219,6 +226,8 @@ void set_parallel_threads(std::size_t n) { Pool::instance().set_width(n); }
 int clamp_thread_request(int requested) { return requested < 0 ? 0 : requested; }
 
 std::uint64_t parallel_busy_ns() { return Pool::instance().busy_ns(); }
+
+int parallel_worker_index() { return tl_worker_index; }
 
 namespace detail {
 void run_chunks(std::size_t begin, std::size_t end, std::size_t grain, ChunkFn fn,

@@ -41,6 +41,12 @@ int clamp_thread_request(int requested);
 /// PhaseStat in util/timer.hpp.
 std::uint64_t parallel_busy_ns();
 
+/// Stable pool index of the calling thread: 0 for any thread the pool did
+/// not spawn (the main thread, callers participating in their own jobs),
+/// 1..width-1 for pool workers. Used by the tracer and the logger so span
+/// and log lines attribute work to a deterministic worker lane.
+int parallel_worker_index();
+
 namespace detail {
 using ChunkFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
 /// Run fn over [begin, end) split into ceil((end-begin)/grain) chunks.

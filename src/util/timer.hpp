@@ -37,17 +37,15 @@ struct PhaseStat {
 };
 
 /// RAII phase timer: on destruction adds the elapsed wall time and the pool
-/// busy-time delta to `stat` (and mirrors the wall time into `legacy_wall`
-/// when given, for the pre-PhaseStat RuntimeBreakdown fields).
+/// busy-time delta to `stat`. (obs::ScopedPhase wraps the same accumulation
+/// with a trace span and run-report feed; prefer it in flow-level code.)
 class ScopedTimer {
  public:
-  explicit ScopedTimer(PhaseStat& stat, double* legacy_wall = nullptr)
-      : stat_(stat), legacy_wall_(legacy_wall), busy0_ns_(parallel_busy_ns()) {}
+  explicit ScopedTimer(PhaseStat& stat) : stat_(stat), busy0_ns_(parallel_busy_ns()) {}
   ~ScopedTimer() {
     const double wall = timer_.seconds();
     stat_.wall_s += wall;
     stat_.busy_s += wall + static_cast<double>(parallel_busy_ns() - busy0_ns_) * 1e-9;
-    if (legacy_wall_ != nullptr) *legacy_wall_ += wall;
   }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -55,33 +53,36 @@ class ScopedTimer {
  private:
   WallTimer timer_;
   PhaseStat& stat_;
-  double* legacy_wall_;
   std::uint64_t busy0_ns_;
 };
 
 /// Accumulates named phase durations (TSteiner / global route / detailed
-/// route) the way Table IV splits the flow runtime. The plain `*_s` doubles
-/// are the historical wall-clock fields; the PhaseStat members add the
-/// thread-utilization view on the same phases.
+/// route) the way Table IV splits the flow runtime. The PhaseStat members
+/// are the single source of truth; the historical `*_s()` wall-clock values
+/// are accessors over them (they used to be independently-accumulated
+/// doubles, which could drift from the PhaseStat twins).
 struct RuntimeBreakdown {
-  double tsteiner_s = 0.0;
-  double global_route_s = 0.0;
-  double detailed_route_s = 0.0;
-  double sta_s = 0.0;
-
   PhaseStat tsteiner;
   PhaseStat global_route;
   PhaseStat detailed_route;
   PhaseStat sta;
 
   /// Split of the TSteiner phase's gradient work (not additional phases —
-  /// both are part of tsteiner/tsteiner_s and excluded from total()):
-  /// one-time autodiff program recording vs. the per-iteration in-place
-  /// replays of the retained program (src/autodiff/program.hpp).
+  /// both are part of tsteiner and excluded from total()): one-time autodiff
+  /// program recording vs. the per-iteration in-place replays of the
+  /// retained program (src/autodiff/program.hpp).
   PhaseStat grad_record;
   PhaseStat grad_replay;
 
-  double total() const { return tsteiner_s + global_route_s + detailed_route_s + sta_s; }
+  /// Legacy wall-clock views of the PhaseStat fields above.
+  double tsteiner_s() const { return tsteiner.wall_s; }
+  double global_route_s() const { return global_route.wall_s; }
+  double detailed_route_s() const { return detailed_route.wall_s; }
+  double sta_s() const { return sta.wall_s; }
+
+  double total() const {
+    return tsteiner_s() + global_route_s() + detailed_route_s() + sta_s();
+  }
 };
 
 }  // namespace tsteiner

@@ -158,11 +158,16 @@ TEST(Timer, MeasuresElapsed) {
 
 TEST(Timer, RuntimeBreakdownTotal) {
   RuntimeBreakdown rb;
-  rb.tsteiner_s = 1.0;
-  rb.global_route_s = 2.0;
-  rb.detailed_route_s = 3.0;
-  rb.sta_s = 0.5;
+  rb.tsteiner.wall_s = 1.0;
+  rb.global_route.wall_s = 2.0;
+  rb.detailed_route.wall_s = 3.0;
+  rb.sta.wall_s = 0.5;
   EXPECT_DOUBLE_EQ(rb.total(), 6.5);
+  // The legacy *_s views read straight from the PhaseStat twins.
+  EXPECT_DOUBLE_EQ(rb.tsteiner_s(), 1.0);
+  EXPECT_DOUBLE_EQ(rb.global_route_s(), 2.0);
+  EXPECT_DOUBLE_EQ(rb.detailed_route_s(), 3.0);
+  EXPECT_DOUBLE_EQ(rb.sta_s(), 0.5);
 }
 
 }  // namespace

@@ -1,0 +1,480 @@
+// tsteiner_trace: inspect, verify and diff the observability artifacts the
+// flow writes (docs/observability.md):
+//
+//   tsteiner_trace summarize <file>   human-readable digest
+//   tsteiner_trace verify <file>      structural + schema validation
+//   tsteiner_trace diff <a> <b>       compare two run reports' metrics/phases
+//
+// The file kind is auto-detected: a Chrome trace-event file (TSTEINER_TRACE),
+// a run report (TSTEINER_RUN_REPORT), or a refine-iteration JSONL stream
+// (TSTEINER_REFINE_LOG). verify exits nonzero on any problem — truncated
+// JSON, malformed events, non-nesting spans within a lane, schema-violating
+// report/JSONL lines, or a best-WNS trajectory that regresses — so CI can
+// gate on artifact health the way tsteiner_db verify gates on snapshots.
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using tsteiner::obs::JsonValue;
+using tsteiner::obs::parse_json;
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string out;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+enum class FileKind { kTrace, kReport, kJsonl, kUnknown };
+
+/// Detect what artifact this is. A whole-file parse that yields an object is
+/// a trace (has "traceEvents") or a run report (has "tsteiner_run_report");
+/// otherwise, content starting with '{' that parses line-by-line is JSONL.
+FileKind detect_kind(const std::string& text, std::optional<JsonValue>& doc) {
+  doc = parse_json(text);
+  if (doc && doc->is_object()) {
+    if (doc->find("traceEvents") != nullptr) return FileKind::kTrace;
+    if (doc->find("tsteiner_run_report") != nullptr) return FileKind::kReport;
+    return FileKind::kUnknown;
+  }
+  doc.reset();
+  // Multi-line JSONL never parses as one document; probe the first line.
+  const std::size_t eol = text.find('\n');
+  const std::string first = text.substr(0, eol);
+  if (!first.empty() && first[0] == '{' && parse_json(first)) return FileKind::kJsonl;
+  return FileKind::kUnknown;
+}
+
+int fail(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "FAIL: ");
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+  return 1;
+}
+
+// --- trace-event files -------------------------------------------------------
+
+struct SpanView {
+  std::string name;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds
+  long long tid = 0;
+};
+
+/// Extract and structurally check the X events. Returns nullopt (after
+/// printing the reason) on malformed events.
+std::optional<std::vector<SpanView>> collect_spans(const JsonValue& doc) {
+  const JsonValue* events = doc.find_array("traceEvents");
+  if (events == nullptr) {
+    fail("no traceEvents array");
+    return std::nullopt;
+  }
+  std::vector<SpanView> spans;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (!e.is_object()) {
+      fail("traceEvents[%zu] is not an object", i);
+      return std::nullopt;
+    }
+    const JsonValue* ph = e.find_string("ph");
+    if (ph == nullptr) {
+      fail("traceEvents[%zu] lacks a \"ph\" string", i);
+      return std::nullopt;
+    }
+    if (ph->str == "M") continue;  // thread-name metadata
+    if (ph->str != "X") {
+      fail("traceEvents[%zu] has unsupported phase \"%s\"", i, ph->str.c_str());
+      return std::nullopt;
+    }
+    const JsonValue* name = e.find_string("name");
+    const JsonValue* ts = e.find_number("ts");
+    const JsonValue* dur = e.find_number("dur");
+    const JsonValue* tid = e.find_number("tid");
+    if (name == nullptr || ts == nullptr || dur == nullptr || tid == nullptr ||
+        e.find_number("pid") == nullptr) {
+      fail("traceEvents[%zu] lacks name/ts/dur/pid/tid", i);
+      return std::nullopt;
+    }
+    if (ts->number < 0.0 || dur->number < 0.0) {
+      fail("traceEvents[%zu] has a negative ts or dur", i);
+      return std::nullopt;
+    }
+    spans.push_back({name->str, ts->number, dur->number,
+                     static_cast<long long>(tid->number)});
+  }
+  return spans;
+}
+
+/// Spans on one lane come from scoped objects on one thread, so they must
+/// nest by time containment: sorted by (ts, -dur), each span either fits
+/// inside the enclosing open span or starts after it ends.
+bool check_nesting(std::vector<SpanView> spans) {
+  std::stable_sort(spans.begin(), spans.end(), [](const SpanView& a, const SpanView& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.dur > b.dur;
+  });
+  std::vector<const SpanView*> stack;
+  long long lane = std::numeric_limits<long long>::min();
+  const double slop = 0.002;  // µs; end timestamps round to 3 decimals
+  for (const SpanView& s : spans) {
+    if (s.tid != lane) {
+      lane = s.tid;
+      stack.clear();
+    }
+    while (!stack.empty() && s.ts >= stack.back()->ts + stack.back()->dur - slop) {
+      stack.pop_back();
+    }
+    if (!stack.empty() &&
+        s.ts + s.dur > stack.back()->ts + stack.back()->dur + slop) {
+      fail("lane %lld: span \"%s\" [%.3f, %.3f] overlaps \"%s\" [%.3f, %.3f] without nesting",
+           lane, s.name.c_str(), s.ts, s.ts + s.dur, stack.back()->name.c_str(),
+           stack.back()->ts, stack.back()->ts + stack.back()->dur);
+      return false;
+    }
+    stack.push_back(&s);
+  }
+  return true;
+}
+
+int verify_trace(const JsonValue& doc) {
+  const auto spans = collect_spans(doc);
+  if (!spans) return 1;
+  if (!check_nesting(*spans)) return 1;
+  std::printf("OK: trace file, %zu spans, nesting consistent\n", spans->size());
+  return 0;
+}
+
+int summarize_trace(const JsonValue& doc) {
+  const auto spans = collect_spans(doc);
+  if (!spans) return 1;
+  struct Agg {
+    double total_us = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::map<long long, std::size_t> by_lane;
+  for (const SpanView& s : *spans) {
+    Agg& a = by_name[s.name];
+    a.total_us += s.dur;
+    ++a.count;
+    ++by_lane[s.tid];
+  }
+  std::printf("%zu spans across %zu lanes\n\n", spans->size(), by_lane.size());
+  std::printf("%-32s %10s %14s\n", "span", "count", "total ms");
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  for (const auto& [name, a] : rows) {
+    std::printf("%-32s %10zu %14.3f\n", name.c_str(), a.count, a.total_us / 1000.0);
+  }
+  return 0;
+}
+
+// --- run reports -------------------------------------------------------------
+
+int verify_report(const JsonValue& doc) {
+  const JsonValue* version = doc.find_number("schema_version");
+  if (version == nullptr) return fail("run report lacks schema_version");
+  const JsonValue* phases = doc.find_array("phases");
+  if (phases == nullptr) return fail("run report lacks a phases array");
+  for (std::size_t i = 0; i < phases->array.size(); ++i) {
+    const JsonValue& p = phases->array[i];
+    if (p.find_string("name") == nullptr || p.find_number("wall_s") == nullptr ||
+        p.find_number("busy_s") == nullptr || p.find_number("count") == nullptr) {
+      return fail("phases[%zu] lacks name/wall_s/busy_s/count", i);
+    }
+    if (p.number_or("wall_s", -1.0) < 0.0 || p.number_or("count", 0.0) < 1.0) {
+      return fail("phases[%zu] has a negative wall_s or zero count", i);
+    }
+  }
+  const JsonValue* refines = doc.find_array("refine");
+  if (refines == nullptr) return fail("run report lacks a refine array");
+  for (std::size_t i = 0; i < refines->array.size(); ++i) {
+    const JsonValue& r = refines->array[i];
+    if (r.find_string("design") == nullptr || r.find_number("iterations") == nullptr ||
+        r.find_array("iters") == nullptr) {
+      return fail("refine[%zu] lacks design/iterations/iters", i);
+    }
+    const JsonValue* iters = r.find_array("iters");
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < iters->array.size(); ++k) {
+      const JsonValue& it = iters->array[k];
+      if (it.find_number("iter") == nullptr || it.find_number("wns") == nullptr ||
+          it.find_number("best_wns") == nullptr) {
+        return fail("refine[%zu].iters[%zu] lacks iter/wns/best_wns", i, k);
+      }
+      const double b = it.number_or("best_wns", 0.0);
+      if (b + 1e-12 < best) {
+        return fail("refine[%zu].iters[%zu]: best_wns regressed (%.6f -> %.6f)", i, k,
+                    best, b);
+      }
+      best = b;
+    }
+  }
+  if (doc.find_object("metrics") == nullptr) {
+    return fail("run report lacks a metrics object");
+  }
+  std::printf("OK: run report, %zu phases, %zu refine runs\n", phases->array.size(),
+              refines->array.size());
+  return 0;
+}
+
+int summarize_report(const JsonValue& doc) {
+  if (const JsonValue* options = doc.find_object("options")) {
+    for (const auto& [k, v] : options->object) {
+      std::printf("option %s = %s\n", k.c_str(), v.str.c_str());
+    }
+  }
+  if (const JsonValue* phases = doc.find_array("phases")) {
+    std::printf("\n%-28s %10s %10s %8s %7s\n", "phase", "wall s", "busy s", "util",
+                "count");
+    for (const JsonValue& p : phases->array) {
+      const JsonValue* name = p.find_string("name");
+      std::printf("%-28s %10.3f %10.3f %8.2f %7.0f\n",
+                  name != nullptr ? name->str.c_str() : "?", p.number_or("wall_s", 0.0),
+                  p.number_or("busy_s", 0.0), p.number_or("utilization", 0.0),
+                  p.number_or("count", 0.0));
+    }
+  }
+  if (const JsonValue* refines = doc.find_array("refine")) {
+    for (const JsonValue& r : refines->array) {
+      const JsonValue* design = r.find_string("design");
+      std::printf("\nrefine %s: %.0f iters%s, WNS %.3f -> %.3f, TNS %.1f -> %.1f\n",
+                  design != nullptr ? design->str.c_str() : "?",
+                  r.number_or("iterations", 0.0),
+                  r.find("converged_by_ratio") != nullptr &&
+                          r.find("converged_by_ratio")->boolean
+                      ? " (converged)"
+                      : "",
+                  r.number_or("init_wns", 0.0), r.number_or("best_wns", 0.0),
+                  r.number_or("init_tns", 0.0), r.number_or("best_tns", 0.0));
+    }
+  }
+  if (const JsonValue* metrics = doc.find_object("metrics")) {
+    if (const JsonValue* counters = metrics->find_object("counters")) {
+      std::printf("\n%-32s %14s\n", "counter", "value");
+      for (const auto& [name, v] : counters->object) {
+        std::printf("%-32s %14.0f\n", name.c_str(), v.number);
+      }
+    }
+  }
+  return 0;
+}
+
+// --- refine JSONL ------------------------------------------------------------
+
+struct JsonlStats {
+  std::size_t lines = 0;
+  std::map<std::string, std::pair<double, double>> design_range;  // init/best wns
+};
+
+/// Validate every line against the iteration schema and the keep-best
+/// invariant (per-design best_wns/best_tns never regress). Populates `stats`
+/// for summarize.
+int verify_jsonl(const std::string& text, JsonlStats* stats) {
+  static const char* const kNumberKeys[] = {"iter",      "wns",      "tns",
+                                            "best_wns",  "best_tns", "theta",
+                                            "grad_norm", "max_move", "lambda_w",
+                                            "lambda_t",  "wall_s"};
+  std::map<std::string, std::pair<double, double>> best;  // design -> wns/tns
+  std::size_t line_no = 0, pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    std::string err;
+    const auto doc = parse_json(line, &err);
+    if (!doc || !doc->is_object()) {
+      return fail("line %zu does not parse as a JSON object (%s)", line_no, err.c_str());
+    }
+    const JsonValue* design = doc->find_string("design");
+    if (design == nullptr) return fail("line %zu lacks a design string", line_no);
+    for (const char* key : kNumberKeys) {
+      if (doc->find_number(key) == nullptr) {
+        return fail("line %zu lacks numeric \"%s\"", line_no, key);
+      }
+    }
+    const JsonValue* accept = doc->find("accept");
+    if (accept == nullptr || !accept->is_bool()) {
+      return fail("line %zu lacks boolean \"accept\"", line_no);
+    }
+    const double bw = doc->number_or("best_wns", 0.0);
+    const double bt = doc->number_or("best_tns", 0.0);
+    auto [it, fresh] = best.emplace(design->str, std::make_pair(bw, bt));
+    if (!fresh) {
+      if (bw + 1e-12 < it->second.first) {
+        return fail("line %zu: best_wns for %s regressed (%.6f -> %.6f)", line_no,
+                    design->str.c_str(), it->second.first, bw);
+      }
+      if (bt + 1e-12 < it->second.second) {
+        return fail("line %zu: best_tns for %s regressed (%.6f -> %.6f)", line_no,
+                    design->str.c_str(), it->second.second, bt);
+      }
+      it->second = {bw, bt};
+    }
+    if (stats != nullptr) {
+      ++stats->lines;
+      auto [sit, first] = stats->design_range.emplace(
+          design->str, std::make_pair(doc->number_or("wns", 0.0), bw));
+      if (!first) sit->second.second = bw;
+    }
+  }
+  return 0;
+}
+
+int summarize_jsonl(const std::string& text) {
+  JsonlStats stats;
+  if (verify_jsonl(text, &stats) != 0) return 1;
+  std::printf("%zu iteration records, %zu designs\n", stats.lines,
+              stats.design_range.size());
+  for (const auto& [design, range] : stats.design_range) {
+    std::printf("  %-20s first WNS %10.4f   final best WNS %10.4f\n", design.c_str(),
+                range.first, range.second);
+  }
+  return 0;
+}
+
+// --- diff --------------------------------------------------------------------
+
+int diff_reports(const JsonValue& a, const JsonValue& b) {
+  int differences = 0;
+  const auto diff_section = [&](const char* section) {
+    const JsonValue* ma = a.find_object("metrics");
+    const JsonValue* mb = b.find_object("metrics");
+    const JsonValue* sa = ma != nullptr ? ma->find_object(section) : nullptr;
+    const JsonValue* sb = mb != nullptr ? mb->find_object(section) : nullptr;
+    std::map<std::string, double> va, vb;
+    if (sa != nullptr) {
+      for (const auto& [k, v] : sa->object) {
+        if (v.is_number()) va[k] = v.number;
+      }
+    }
+    if (sb != nullptr) {
+      for (const auto& [k, v] : sb->object) {
+        if (v.is_number()) vb[k] = v.number;
+      }
+    }
+    for (const auto& [k, x] : va) {
+      const auto it = vb.find(k);
+      if (it == vb.end()) {
+        std::printf("- %s.%s = %g (only in first)\n", section, k.c_str(), x);
+        ++differences;
+      } else if (it->second != x) {
+        std::printf("~ %s.%s: %g -> %g\n", section, k.c_str(), x, it->second);
+        ++differences;
+      }
+    }
+    for (const auto& [k, x] : vb) {
+      if (va.find(k) == va.end()) {
+        std::printf("+ %s.%s = %g (only in second)\n", section, k.c_str(), x);
+        ++differences;
+      }
+    }
+  };
+  diff_section("counters");
+  diff_section("gauges");
+
+  // Phase wall times, side by side (informational, never a "difference").
+  const JsonValue* pa = a.find_array("phases");
+  const JsonValue* pb = b.find_array("phases");
+  if (pa != nullptr && pb != nullptr) {
+    std::map<std::string, double> walls;
+    for (const JsonValue& p : pb->array) {
+      if (const JsonValue* n = p.find_string("name")) {
+        walls[n->str] = p.number_or("wall_s", 0.0);
+      }
+    }
+    for (const JsonValue& p : pa->array) {
+      const JsonValue* n = p.find_string("name");
+      if (n == nullptr) continue;
+      const auto it = walls.find(n->str);
+      if (it != walls.end()) {
+        std::printf("  phase %-28s %10.3fs vs %10.3fs\n", n->str.c_str(),
+                    p.number_or("wall_s", 0.0), it->second);
+      }
+    }
+  }
+  std::printf("%d metric difference(s)\n", differences);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tsteiner_trace summarize <file>\n"
+               "       tsteiner_trace verify <file>\n"
+               "       tsteiner_trace diff <report-a> <report-b>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "diff") {
+    if (argc < 4) return usage();
+    const auto ta = read_file(argv[2]);
+    const auto tb = read_file(argv[3]);
+    if (!ta) return fail("cannot read %s", argv[2]);
+    if (!tb) return fail("cannot read %s", argv[3]);
+    std::optional<JsonValue> da, db;
+    if (detect_kind(*ta, da) != FileKind::kReport) {
+      return fail("%s is not a run report", argv[2]);
+    }
+    if (detect_kind(*tb, db) != FileKind::kReport) {
+      return fail("%s is not a run report", argv[3]);
+    }
+    return diff_reports(*da, *db);
+  }
+
+  if (cmd != "summarize" && cmd != "verify") return usage();
+  const std::string path = argv[2];
+  const auto text = read_file(path);
+  if (!text) return fail("cannot read %s", path.c_str());
+  std::optional<JsonValue> doc;
+  const FileKind kind = detect_kind(*text, doc);
+  switch (kind) {
+    case FileKind::kTrace:
+      return cmd == "verify" ? verify_trace(*doc) : summarize_trace(*doc);
+    case FileKind::kReport:
+      return cmd == "verify" ? verify_report(*doc) : summarize_report(*doc);
+    case FileKind::kJsonl: {
+      if (cmd == "summarize") return summarize_jsonl(*text);
+      JsonlStats stats;
+      const int rc = verify_jsonl(*text, &stats);
+      if (rc == 0) {
+        std::printf("OK: refine JSONL, %zu records, keep-best monotone\n", stats.lines);
+      }
+      return rc;
+    }
+    case FileKind::kUnknown:
+      return fail("%s is not a recognized observability artifact", path.c_str());
+  }
+  return 1;
+}
