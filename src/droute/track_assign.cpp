@@ -5,13 +5,15 @@
 
 namespace tsteiner {
 
-namespace {
-
 /// Greedy interval partitioning of one row's runs over k tracks; returns
 /// the number of uncolorable runs and writes track ids.
-long long color_row(std::vector<WireRun*>& row_runs, int k) {
-  std::sort(row_runs.begin(), row_runs.end(),
-            [](const WireRun* a, const WireRun* b) { return a->lo < b->lo; });
+long long color_row_runs(std::vector<WireRun*>& row_runs, int k) {
+  // Stable: runs tied on `lo` keep their presented (connection, seq) order,
+  // so the greedy outcome is a well-defined function of the run multiset +
+  // presentation order. Incremental recoloring exploits this by maintaining
+  // each row pre-sorted by (lo, connection, seq) and skipping the sort.
+  std::stable_sort(row_runs.begin(), row_runs.end(),
+                   [](const WireRun* a, const WireRun* b) { return a->lo < b->lo; });
   // min-heap of (last occupied hi, track id)
   using Slot = std::pair<int, int>;
   std::priority_queue<Slot, std::vector<Slot>, std::greater<>> busy;
@@ -35,7 +37,33 @@ long long color_row(std::vector<WireRun*>& row_runs, int k) {
   return violations;
 }
 
-}  // namespace
+void decompose_path_runs(const std::vector<GCell>& path, int connection,
+                         std::vector<WireRun>& out) {
+  std::size_t i = 1;
+  while (i < path.size()) {
+    const bool horiz = path[i].y == path[i - 1].y;
+    std::size_t j = i;
+    while (j + 1 < path.size() &&
+           ((path[j + 1].y == path[j].y) == horiz) &&
+           ((path[j + 1].x == path[j].x) != horiz)) {
+      ++j;
+    }
+    WireRun run;
+    run.connection = connection;
+    run.horizontal = horiz;
+    if (horiz) {
+      run.row = path[i - 1].y;
+      run.lo = std::min(path[i - 1].x, path[j].x);
+      run.hi = std::max(path[i - 1].x, path[j].x);
+    } else {
+      run.row = path[i - 1].x;
+      run.lo = std::min(path[i - 1].y, path[j].y);
+      run.hi = std::max(path[i - 1].y, path[j].y);
+    }
+    out.push_back(run);
+    i = j + 1;
+  }
+}
 
 TrackAssignResult assign_tracks(const GlobalRouteResult& gr, int tracks_per_row) {
   TrackAssignResult result;
@@ -52,31 +80,7 @@ TrackAssignResult assign_tracks(const GlobalRouteResult& gr, int tracks_per_row)
 
   // Decompose paths into maximal straight runs.
   for (std::size_t c = 0; c < gr.connections.size(); ++c) {
-    const auto& path = gr.connections[c].path;
-    std::size_t i = 1;
-    while (i < path.size()) {
-      const bool horiz = path[i].y == path[i - 1].y;
-      std::size_t j = i;
-      while (j + 1 < path.size() &&
-             ((path[j + 1].y == path[j].y) == horiz) &&
-             ((path[j + 1].x == path[j].x) != horiz)) {
-        ++j;
-      }
-      WireRun run;
-      run.connection = static_cast<int>(c);
-      run.horizontal = horiz;
-      if (horiz) {
-        run.row = path[i - 1].y;
-        run.lo = std::min(path[i - 1].x, path[j].x);
-        run.hi = std::max(path[i - 1].x, path[j].x);
-      } else {
-        run.row = path[i - 1].x;
-        run.lo = std::min(path[i - 1].y, path[j].y);
-        run.hi = std::max(path[i - 1].y, path[j].y);
-      }
-      result.runs.push_back(run);
-      i = j + 1;
-    }
+    decompose_path_runs(gr.connections[c].path, static_cast<int>(c), result.runs);
   }
 
   // Group and color per row / column.
@@ -90,12 +94,12 @@ TrackAssignResult assign_tracks(const GlobalRouteResult& gr, int tracks_per_row)
     }
   }
   for (int y = 0; y < grid.ny(); ++y) {
-    const long long v = color_row(h_rows[static_cast<std::size_t>(y)], result.h_tracks);
+    const long long v = color_row_runs(h_rows[static_cast<std::size_t>(y)], result.h_tracks);
     result.h_row_violations[static_cast<std::size_t>(y)] = static_cast<int>(v);
     result.num_violations += v;
   }
   for (int x = 0; x < grid.nx(); ++x) {
-    const long long v = color_row(v_cols[static_cast<std::size_t>(x)], result.v_tracks);
+    const long long v = color_row_runs(v_cols[static_cast<std::size_t>(x)], result.v_tracks);
     result.v_col_violations[static_cast<std::size_t>(x)] = static_cast<int>(v);
     result.num_violations += v;
   }

@@ -39,4 +39,19 @@ struct TrackAssignResult {
 /// H/V capacities; > 0 forces the same count for both directions.
 TrackAssignResult assign_tracks(const GlobalRouteResult& gr, int tracks_per_row = 0);
 
+/// Greedy interval partitioning of one row's runs over `k` tracks
+/// (stable-sorts `row_runs` by left end in place); returns the number of
+/// uncolorable runs and writes track ids. The violation count can depend on
+/// the order of equal-`lo` runs; the stable sort pins it to the presented
+/// order, so the result is a well-defined function of (run multiset,
+/// presentation order) that incremental recoloring reproduces by maintaining
+/// rows pre-sorted in (lo, connection, run-sequence) order.
+long long color_row_runs(std::vector<WireRun*>& row_runs, int k);
+
+/// Decompose one connection's gcell path into maximal straight runs — the
+/// exact decomposition assign_tracks applies to every connection (shared so
+/// incremental recoloring reproduces it run for run).
+void decompose_path_runs(const std::vector<GCell>& path, int connection,
+                         std::vector<WireRun>& out);
+
 }  // namespace tsteiner

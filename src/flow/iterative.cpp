@@ -1,5 +1,8 @@
 #include "flow/iterative.hpp"
 
+#include <memory>
+
+#include "flow/incremental_signoff.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -20,6 +23,23 @@ IterativeResult iterative_refine(const PreparedDesign& pd, TimingGnn* model,
   Trainer trainer(model, options.finetune);
   RefineOptions ropts = options.refine;
   ropts.gcell_size = pd.flow->options().router.gcell_size;
+
+  // Observational sign-off probes inside refine, served incrementally. The
+  // IncrementalSignoff anchors (full sign-off) lazily on the first probe and
+  // every later probe re-signs only the nets refine actually moved. Probes
+  // are telemetry (JSONL signoff_* fields) — keep-best decisions below stay
+  // on the golden full run_signoff.
+  std::shared_ptr<IncrementalSignoff> probe_signoff;
+  if (options.signoff_probe_every > 0 && !ropts.signoff_probe) {
+    ropts.signoff_probe_every = options.signoff_probe_every;
+    probe_signoff =
+        std::make_shared<IncrementalSignoff>(pd.design.get(), pd.flow->options());
+    ropts.signoff_probe = [probe_signoff](const SteinerForest& forest,
+                                          const std::vector<int>& dirty) {
+      const IncrementalSignoff::Result& r = probe_signoff->update(forest, dirty);
+      return SignoffProbeResult{r.metrics.wns_ns, r.metrics.tns_ns, r.incremental};
+    };
+  }
 
   static obs::Counter& m_rounds = obs::metrics().counter("iterative.rounds");
   for (int round = 0; round < options.rounds; ++round) {

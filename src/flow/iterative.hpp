@@ -21,6 +21,11 @@ struct IterativeOptions {
   int finetune_epochs = 8;
   RefineOptions refine;
   TrainOptions finetune;
+  /// Cadence (refine iterations) of the observational sign-off probe wired
+  /// into each round's refine loop, served by IncrementalSignoff so a probe
+  /// costs a small fraction of a full sign-off. 0 disables. Overridden by an
+  /// explicit refine.signoff_probe.
+  int signoff_probe_every = 4;
 };
 
 struct IterativeResult {

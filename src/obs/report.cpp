@@ -47,6 +47,13 @@ void append_iteration_json(std::string& out, const std::string& design,
   field("lambda_w", r.lambda_w);
   field("lambda_t", r.lambda_t);
   field("wall_s", r.wall_s);
+  if (r.has_signoff) {
+    field("signoff_wns", r.signoff_wns);
+    field("signoff_tns", r.signoff_tns);
+    field("signoff_dirty_frac", r.signoff_dirty_frac);
+    out += ",\"signoff_incremental\":";
+    out += r.signoff_incremental ? "true" : "false";
+  }
   out += "}";
 }
 

@@ -41,6 +41,13 @@ struct RefineIterationRecord {
   double max_move = 0.0;   ///< largest per-point displacement applied (DBU)
   double lambda_w = 0.0, lambda_t = 0.0;
   double wall_s = 0.0;
+  /// Optional periodic sign-off probe (RefineOptions::signoff_probe). The
+  /// signoff_* fields are emitted in the JSONL line only when the probe ran
+  /// this iteration (has_signoff).
+  bool has_signoff = false;
+  double signoff_wns = 0.0, signoff_tns = 0.0;  ///< sign-off, not model eval
+  double signoff_dirty_frac = 0.0;  ///< dirty nets / total nets fed to the probe
+  bool signoff_incremental = false;  ///< probe served by the incremental path
 };
 
 /// Summary of one refine_steiner_points call for the run report.

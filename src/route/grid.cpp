@@ -48,6 +48,18 @@ void GridGraph::clear_usage() {
   std::fill(v_usage_.begin(), v_usage_.end(), 0.0);
 }
 
+void GridGraph::clear_history() {
+  std::fill(h_hist_.begin(), h_hist_.end(), 0.0);
+  std::fill(v_hist_.begin(), v_hist_.end(), 0.0);
+}
+
+void GridGraph::reset_routing_state() {
+  clear_usage();
+  clear_history();
+  h_cap_ = 1.0;
+  v_cap_ = 1.0;
+}
+
 double GridGraph::total_overflow() const {
   double of = 0.0;
   for (double u : h_usage_) of += std::max(0.0, u - h_cap_);

@@ -66,11 +66,20 @@ class GridGraph {
   double v_history(int x, int y) const { return v_hist_[v_index(x, y)]; }
   void add_h_history(int x, int y, double delta) { h_hist_[h_index(x, y)] += delta; }
   void add_v_history(int x, int y, double delta) { v_hist_[v_index(x, y)] += delta; }
+  /// Exact overwrite (incremental replay resets charged edges to the
+  /// fresh-start value; an additive undo could leave float residue).
+  void set_h_history(int x, int y, double value) { h_hist_[h_index(x, y)] = value; }
+  void set_v_history(int x, int y, double value) { v_hist_[v_index(x, y)] = value; }
 
   /// Set uniform capacities (resource calibration happens in the router).
   void set_capacities(double h_cap, double v_cap);
 
   void clear_usage();
+  void clear_history();
+  /// Restore the freshly-constructed state (zero usage/history, unit
+  /// capacities) so a routing pass can be replayed on an existing grid and
+  /// produce bit-identical results to routing on a new GridGraph.
+  void reset_routing_state();
 
   /// Total overflow: sum over edges of max(0, usage - capacity).
   double total_overflow() const;

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace tsteiner {
 
@@ -90,6 +90,11 @@ void IncrementalSta::refresh_endpoints() {
   result_.wns = result_.endpoints.empty() ? 0.0 : std::numeric_limits<double>::infinity();
   result_.tns = 0.0;
   result_.num_violations = 0;
+  // Rebuild max_arrival from scratch exactly as run_sta does: seed 0.0, fold
+  // the endpoint arrivals in endpoint order, then take the grouping-invariant
+  // max over every pin arrival (folding from the previous value instead
+  // would let a stale maximum survive after arrivals shrink).
+  result_.max_arrival = 0.0;
   for (int ep : result_.endpoints) {
     const double arrival = result_.arrival[static_cast<std::size_t>(ep)];
     double required = design_->clock_period();
@@ -103,6 +108,16 @@ void IncrementalSta::refresh_endpoints() {
     if (slack < 0.0) ++result_.num_violations;
     result_.max_arrival = std::max(result_.max_arrival, arrival);
   }
+  result_.max_arrival = std::max(
+      result_.max_arrival,
+      parallel_reduce(
+          0, result_.arrival.size(), 4096, -std::numeric_limits<double>::infinity(),
+          [&](std::size_t lo, std::size_t hi) {
+            double m = -std::numeric_limits<double>::infinity();
+            for (std::size_t i = lo; i < hi; ++i) m = std::max(m, result_.arrival[i]);
+            return m;
+          },
+          [](double a, double b) { return std::max(a, b); }));
 }
 
 const StaResult& IncrementalSta::update(const SteinerForest& forest,
@@ -115,15 +130,26 @@ const StaResult& IncrementalSta::update(const SteinerForest& forest,
   gr_ = gr;
   last_cells_ = 0;
 
+  // Nothing moved: the cached result is already exact, so skip the endpoint
+  // refresh and electrical rescan entirely.
+  if (dirty_nets.empty()) return result_;
+
   // 1. Re-extract dirty nets; seed the worklist with their driver cells
   //    (load changed -> their output arrival changes) and re-propagate their
   //    sinks directly.
   // Worklist keyed by topological index so every cell is processed once and
-  // after all its predecessors.
-  std::set<std::pair<int, int>> work;  // (topo index, cell id)
+  // after all its predecessors. Every enqueue targets a combinational sink
+  // of the cell (or net) being processed, which sits strictly later in topo
+  // order, so a flat queued bitmap swept forward once replaces an ordered
+  // set — same processing order, no per-node allocation.
+  std::vector<std::uint8_t> queued(topo_order_.size(), 0);
+  std::size_t scan_from = topo_order_.size();
   auto enqueue_cell = [&](int cell_id) {
     const int ti = topo_index_[static_cast<std::size_t>(cell_id)];
-    if (ti >= 0) work.insert({ti, cell_id});
+    if (ti >= 0) {
+      queued[static_cast<std::size_t>(ti)] = 1;
+      scan_from = std::min(scan_from, static_cast<std::size_t>(ti));
+    }
   };
 
   // Callers assembling dirty lists from per-move records routinely repeat a
@@ -155,16 +181,19 @@ const StaResult& IncrementalSta::update(const SteinerForest& forest,
       }
     }
     // Sinks see new wire delays even if the driver arrival is unchanged.
-    std::vector<int> touched;
-    propagate_net_sinks(net_id, touched);
-    for (int cell : touched) enqueue_cell(cell);
+    seed_touched_.clear();
+    propagate_net_sinks(net_id, seed_touched_);
+    for (int cell : seed_touched_) enqueue_cell(cell);
   }
 
-  // 2. Forward sweep in topological order with change pruning.
-  constexpr double kEps = 1e-12;
-  while (!work.empty()) {
-    const auto [ti, cell_id] = *work.begin();
-    work.erase(work.begin());
+  // 2. Forward sweep in topological order with change pruning. Pruning on
+  //    bit equality (not an epsilon) keeps the update exact: a cached output
+  //    that recomputes to the identical bits proves the cached downstream
+  //    cone is still consistent, so skipping it cannot diverge from run_sta.
+  std::vector<int> touched;
+  for (std::size_t ti = scan_from; ti < queued.size(); ++ti) {
+    if (queued[ti] == 0) continue;
+    const int cell_id = topo_order_[ti];
     ++last_cells_;
     const Cell& c = design_->cell(cell_id);
     const double old_a = result_.arrival[static_cast<std::size_t>(c.output_pin)];
@@ -172,30 +201,55 @@ const StaResult& IncrementalSta::update(const SteinerForest& forest,
     propagate_cell(cell_id);
     const double new_a = result_.arrival[static_cast<std::size_t>(c.output_pin)];
     const double new_s = result_.slew[static_cast<std::size_t>(c.output_pin)];
-    if (std::abs(new_a - old_a) < kEps && std::abs(new_s - old_s) < kEps) continue;
+    if (new_a == old_a && new_s == old_s) continue;
     const int out_net = design_->pin(c.output_pin).net;
     if (out_net < 0) continue;
-    std::vector<int> touched;
+    touched.clear();
     propagate_net_sinks(out_net, touched);
     for (int cell : touched) enqueue_cell(cell);
   }
 
-  // 3. Endpoint metrics + electrical checks over the final state.
+  // 3. Endpoint metrics + electrical checks over the final state. The
+  //    electrical aggregates are integer counts and max-folds — both exact
+  //    under any association — so a chunk-parallel reduce over the net list
+  //    matches the serial full-run fold bit for bit.
   refresh_endpoints();
-  result_.num_slew_violations = 0;
-  result_.num_cap_violations = 0;
-  result_.worst_slew_ns = 0.0;
-  result_.worst_cap_pf = 0.0;
-  for (const Net& n : design_->nets()) {
-    const double load = net_timing_[static_cast<std::size_t>(n.id)].total_cap_pf;
-    result_.worst_cap_pf = std::max(result_.worst_cap_pf, load);
-    if (load > options_.max_cap_pf) ++result_.num_cap_violations;
-    for (int s : n.sink_pins) {
-      const double slew = result_.slew[static_cast<std::size_t>(s)];
-      result_.worst_slew_ns = std::max(result_.worst_slew_ns, slew);
-      if (slew > options_.max_slew_ns) ++result_.num_slew_violations;
-    }
-  }
+  struct Elec {
+    long long slew_vios = 0;
+    long long cap_vios = 0;
+    double worst_slew = 0.0;
+    double worst_cap = 0.0;
+  };
+  const std::vector<Net>& nets = design_->nets();
+  const Elec elec = parallel_reduce(
+      0, nets.size(), 512, Elec{},
+      [&](std::size_t lo, std::size_t hi) {
+        Elec e;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Net& n = nets[i];
+          const double load = net_timing_[static_cast<std::size_t>(n.id)].total_cap_pf;
+          e.worst_cap = std::max(e.worst_cap, load);
+          if (load > options_.max_cap_pf) ++e.cap_vios;
+          for (int s : n.sink_pins) {
+            const double slew = result_.slew[static_cast<std::size_t>(s)];
+            e.worst_slew = std::max(e.worst_slew, slew);
+            if (slew > options_.max_slew_ns) ++e.slew_vios;
+          }
+        }
+        return e;
+      },
+      [](Elec a, const Elec& b) {
+        a.slew_vios += b.slew_vios;
+        a.cap_vios += b.cap_vios;
+        a.worst_slew = std::max(a.worst_slew, b.worst_slew);
+        a.worst_cap = std::max(a.worst_cap, b.worst_cap);
+        return a;
+      });
+  result_.num_slew_violations = elec.slew_vios;
+  result_.num_cap_violations = elec.cap_vios;
+  result_.worst_slew_ns = elec.worst_slew;
+  result_.worst_cap_pf = elec.worst_cap;
+  TS_DEBUG("STA update: %zu dirty nets, %lld cells re-evaluated", dirty_nets.size(), last_cells_);
   static obs::Counter& m_cells = obs::metrics().counter("sta.incremental_cells");
   m_cells.add(static_cast<std::uint64_t>(std::max<long long>(0, last_cells_)));
   return result_;

@@ -1,8 +1,10 @@
 // Incremental STA: after a position-only change to a subset of nets (the
 // exact edit Steiner refinement makes), re-extract just those nets' RC and
 // re-propagate arrivals only through the affected fan-out cone. Exact — the
-// result always matches a full run_sta on the same inputs — but far cheaper
-// when few nets moved (oracle probes, iterative refinement, what-if loops).
+// result is bit-identical to a full run_sta on the same inputs (pruning uses
+// bit equality, never an epsilon) — but far cheaper when few nets moved
+// (oracle probes, iterative refinement, what-if loops). An empty dirty list
+// returns the cached result untouched.
 #pragma once
 
 #include <vector>
@@ -41,6 +43,7 @@ class IncrementalSta {
   std::vector<int> topo_index_;  ///< per cell: position in topological order
   std::vector<int> topo_order_;
   StaResult result_;
+  std::vector<int> seed_touched_;  ///< scratch for worklist seeding
   long long last_cells_ = 0;
 };
 

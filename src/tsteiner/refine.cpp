@@ -138,6 +138,23 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
   // Scratch copies of the pre-step iterate, for the applied-move telemetry.
   std::vector<double> prev_xs, prev_ys;
 
+  // Periodic sign-off probe: snapshot of the coordinates at the last probe
+  // so each probe declares exactly the nets that moved since then — the
+  // dirty set IncrementalSignoff::update's contract requires. Seeded from
+  // the refine input, which is what the probe's first (anchoring) sign-off
+  // sees.
+  const bool probing = options.signoff_probe_every > 0 && options.signoff_probe;
+  std::vector<double> probe_xs = xs0;
+  std::vector<double> probe_ys = ys0;
+  SteinerForest probe_forest;
+  if (probing) probe_forest = result.forest;
+  // The probe callback may carry sign-off state anchored on a forest from an
+  // earlier refine call (iterative rounds reuse one IncrementalSignoff); the
+  // first probe of *this* call therefore declares every movable tree dirty —
+  // a sound superset covering any divergence between that anchor and xs0.
+  bool first_probe = true;
+  static obs::Counter& m_probes = obs::metrics().counter("refine.signoff_probes");
+
   int t = 0;
   while (true) {
     TS_TRACE_SPAN_CAT("refine.iteration", "tsteiner");
@@ -210,6 +227,35 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
     }
     rec.best_wns = best_wns;
     rec.best_tns = best_tns;
+    if (probing && (t + 1) % options.signoff_probe_every == 0) {
+      TS_TRACE_SPAN_CAT("refine.signoff_probe", "tsteiner");
+      // Bitwise coordinate diff vs. the last probe -> dirty nets. The kept
+      // iterate (accepted, or restored best) is what gets probed, so the
+      // trajectory the sign-off telemetry shows is the one refine keeps.
+      std::vector<int> dirty;
+      std::vector<char> tree_seen(result.forest.trees.size(), 0);
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (!first_probe && xs[i] == probe_xs[i] && ys[i] == probe_ys[i]) continue;
+        const int tr = result.forest.movable()[i].tree;
+        if (tree_seen[static_cast<std::size_t>(tr)]) continue;
+        tree_seen[static_cast<std::size_t>(tr)] = 1;
+        dirty.push_back(result.forest.trees[static_cast<std::size_t>(tr)].net);
+      }
+      first_probe = false;
+      probe_xs = xs;
+      probe_ys = ys;
+      probe_forest.scatter_xy(xs, ys);
+      const SignoffProbeResult probe = options.signoff_probe(probe_forest, dirty);
+      m_probes.add();
+      rec.has_signoff = true;
+      rec.signoff_wns = probe.wns_ns;
+      rec.signoff_tns = probe.tns_ns;
+      rec.signoff_incremental = probe.incremental;
+      rec.signoff_dirty_frac =
+          design.nets().empty()
+              ? 0.0
+              : static_cast<double>(dirty.size()) / static_cast<double>(design.nets().size());
+    }
     rec.wall_s = iter_timer.seconds();
     m_iterations.add();
     m_theta.set(so.theta());

@@ -9,6 +9,7 @@
 // improved by the converge ratio mu.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "gnn/model.hpp"
@@ -20,6 +21,22 @@
 #include "util/timer.hpp"
 
 namespace tsteiner {
+
+/// What a periodic sign-off probe reports back to the refine loop (for
+/// telemetry only — the loop's keep-best decisions stay model-driven).
+struct SignoffProbeResult {
+  double wns_ns = 0.0;
+  double tns_ns = 0.0;
+  bool incremental = false;  ///< served by the incremental update path
+};
+
+/// Sign-off probe callback: `dirty_nets` lists every net whose Steiner
+/// coordinates changed (bitwise) since the previous probe call — exactly the
+/// set IncrementalSignoff::update needs under the dirty-net contract
+/// (docs/incremental.md). The first call sees all moved-so-far nets relative
+/// to the refine input forest.
+using SignoffProbeFn =
+    std::function<SignoffProbeResult(const SteinerForest&, const std::vector<int>&)>;
 
 struct RefineOptions {
   PenaltyWeights weights;          ///< lambda_w = -200, lambda_t = -2, gamma = 10
@@ -57,6 +74,13 @@ struct RefineOptions {
   /// 1.0 disables backtracking and reproduces the paper's fixed-theta loop.
   double theta_backtrack = 0.7;
   bool round_positions = true;     ///< paper's post-processing rounding
+  /// Observational sign-off probe: every `signoff_probe_every` iterations
+  /// (after the accept/reject decision) the loop snapshots the kept iterate
+  /// and calls `signoff_probe` with the nets whose coordinates changed since
+  /// the previous probe. 0 disables. Results land in the iteration telemetry
+  /// (signoff_* fields); the refine trajectory is unaffected.
+  int signoff_probe_every = 0;
+  SignoffProbeFn signoff_probe;
 };
 
 struct RefineResult {

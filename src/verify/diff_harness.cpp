@@ -10,6 +10,8 @@
 #include "db/bytes.hpp"
 #include "db/codecs.hpp"
 #include "db/container.hpp"
+#include "flow/flow.hpp"
+#include "flow/incremental_signoff.hpp"
 #include "gnn/graph_cache.hpp"
 #include "gnn/model.hpp"
 #include "sta/incremental.hpp"
@@ -32,9 +34,10 @@ std::uint64_t fnv1a(const std::string& s) {
 
 bool near(double a, double b, double tol) { return std::abs(a - b) <= tol; }
 
-/// Tolerance for IncrementalSta vs full STA: the incremental path is exact
-/// up to its change-pruning epsilon (1e-12 per cell), so 1e-9 absolute
-/// matches the contract the unit tests enforce.
+/// Tolerance for IncrementalSta vs full STA. The incremental path prunes on
+/// bit equality, so it is exact; the 1e-9 here only mirrors what the unit
+/// tests enforce (the bit-level check lives in the signoff-incremental
+/// oracle's compare_signoff).
 std::string compare_sta(const StaResult& inc, const StaResult& full) {
   if (inc.arrival.size() != full.arrival.size()) return "arrival vector size mismatch";
   for (std::size_t i = 0; i < inc.arrival.size(); ++i) {
@@ -172,6 +175,137 @@ std::string oracle_sta_incremental(OracleContext& ctx) {
     if (!msg.empty()) {
       return "round " + std::to_string(round) + " (" + std::to_string(dirty.size()) +
              " dirty entries): " + msg;
+    }
+  }
+  return {};
+}
+
+// --- oracle: IncrementalSignoff vs full Flow::run_signoff ------------------
+
+/// Bit-level comparison of an incremental sign-off against the golden
+/// pipeline: metrics, STA arrays, and every routed path. No epsilon — the
+/// incremental path's contract is exactness.
+std::string compare_signoff(const IncrementalSignoff::Result& inc, const FlowResult& full) {
+  const auto bits_eq = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  if (!bits_eq(inc.metrics.wns_ns, full.metrics.wns_ns)) {
+    return "WNS not bit-identical: " + std::to_string(inc.metrics.wns_ns) + " vs " +
+           std::to_string(full.metrics.wns_ns);
+  }
+  if (!bits_eq(inc.metrics.tns_ns, full.metrics.tns_ns)) return "TNS not bit-identical";
+  if (inc.metrics.num_vios != full.metrics.num_vios) return "violation count diverges";
+  if (!bits_eq(inc.metrics.wirelength_dbu, full.metrics.wirelength_dbu)) {
+    return "DR wirelength not bit-identical: " + std::to_string(inc.metrics.wirelength_dbu) +
+           " vs " + std::to_string(full.metrics.wirelength_dbu);
+  }
+  if (inc.metrics.num_vias != full.metrics.num_vias) return "via count diverges";
+  if (inc.metrics.num_drvs != full.metrics.num_drvs) return "DRV count diverges";
+  if (!bits_eq(inc.gr->wirelength_dbu, full.gr.wirelength_dbu)) {
+    return "GR wirelength not bit-identical";
+  }
+  if (!bits_eq(inc.gr->total_overflow, full.gr.total_overflow)) {
+    return "GR overflow not bit-identical";
+  }
+  if (inc.gr->overflowed_edges != full.gr.overflowed_edges) {
+    return "overflowed-edge count diverges";
+  }
+  if (inc.gr->connections.size() != full.gr.connections.size()) {
+    return "connection count diverges";
+  }
+  for (std::size_t i = 0; i < inc.gr->connections.size(); ++i) {
+    const auto& pa = inc.gr->connections[i].path;
+    const auto& pb = full.gr.connections[i].path;
+    if (pa.size() != pb.size() ||
+        (!pa.empty() && std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(GCell)) != 0)) {
+      return "routed path diverges at connection " + std::to_string(i);
+    }
+  }
+  std::string msg = bits_compare(inc.sta->arrival, full.sta.arrival, "STA arrival");
+  if (msg.empty()) msg = bits_compare(inc.sta->slew, full.sta.slew, "STA slew");
+  if (msg.empty()) {
+    msg = bits_compare(inc.sta->endpoint_slack, full.sta.endpoint_slack, "endpoint slack");
+  }
+  return msg;
+}
+
+/// Move every Steiner node of one tree toward the die's far side by `dist` —
+/// a displacement guaranteed to change gcell endpoints, so an *undeclared*
+/// move of this size is always visible in the routed result.
+void shove_tree(SteinerTree& tree, const RectI& die, double dist) {
+  const double mid = (static_cast<double>(die.lo.x) + static_cast<double>(die.hi.x)) / 2.0;
+  for (SteinerNode& node : tree.nodes) {
+    if (!node.is_steiner()) continue;
+    node.pos.x += node.pos.x < mid ? dist : -dist;
+    node.pos = to_f(round_to_i(clamp_into(node.pos, die)));
+  }
+}
+
+std::string oracle_signoff_incremental(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  Rng& rng = *ctx.rng;
+  Design design = c.design;  // the Flow constructor recalibrates the clock
+  const Flow flow(&design);
+  const std::vector<int> candidates = movable_trees(flow.initial_forest());
+  if (candidates.empty()) return {};
+
+  IncrementalSignoff inc(&design, flow.options());
+  inc.full(flow.initial_forest());
+  {
+    const FlowResult ref = flow.run_signoff(flow.initial_forest());
+    const std::string msg = compare_signoff(inc.result(), ref);
+    if (!msg.empty()) return "anchor full sign-off: " + msg;
+  }
+
+  SteinerForest cur = flow.initial_forest();
+  const double die_w = static_cast<double>(design.die().width());
+
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    const bool mutate_now = ctx.mutate && round == kRounds - 1;
+    std::vector<int> picks = candidates;
+    rng.shuffle(picks);
+    const std::size_t k = 1 + rng.index(std::min<std::size_t>(4, picks.size()));
+    picks.resize(k);
+
+    std::vector<int> dirty;
+    for (int pick : picks) {
+      SteinerTree& tree = cur.trees[static_cast<std::size_t>(pick)];
+      disturb_tree(tree, design.die(), c.disturb_dist, rng);
+      // Refine emits one dirty entry per moved point: duplicates are normal.
+      const int copies = 1 + static_cast<int>(rng.index(2));
+      for (int r = 0; r < copies; ++r) dirty.push_back(tree.net);
+    }
+    // An unmoved net in the dirty list must be harmless (exactness is about
+    // *missing* entries, never extra ones).
+    if (rng.bernoulli(0.3)) {
+      const int extra = candidates[rng.index(candidates.size())];
+      dirty.push_back(cur.trees[static_cast<std::size_t>(extra)].net);
+    }
+    if (mutate_now) {
+      // The injected bug: one more tree moves — far enough to change its
+      // gcell endpoints — and its net never enters the dirty list. The
+      // dirty-net contract says this must NOT be healed, so the oracle has
+      // to flag the divergence.
+      std::vector<int> unpicked;
+      for (int t : candidates) {
+        if (std::find(picks.begin(), picks.end(), t) == picks.end()) unpicked.push_back(t);
+      }
+      const int victim = unpicked.empty() ? picks.back()
+                                          : unpicked[rng.index(unpicked.size())];
+      shove_tree(cur.trees[static_cast<std::size_t>(victim)], design.die(),
+                 std::max(c.disturb_dist, die_w / 3.0));
+      const int skipped = cur.trees[static_cast<std::size_t>(victim)].net;
+      std::erase(dirty, skipped);
+    }
+    rng.shuffle(dirty);
+
+    const IncrementalSignoff::Result& fast = inc.update(cur, dirty);
+    const FlowResult ref = flow.run_signoff(cur);
+    const std::string msg = compare_signoff(fast, ref);
+    if (!msg.empty()) {
+      return "round " + std::to_string(round) + " (" + std::to_string(dirty.size()) +
+             " dirty entries, " + std::to_string(fast.num_rerouted) + " rerouted): " + msg;
     }
   }
   return {};
@@ -529,6 +663,7 @@ void DiffHarness::add_oracle(Oracle oracle) { oracles_.push_back(std::move(oracl
 DiffHarness DiffHarness::standard() {
   DiffHarness h;
   h.add_oracle({"sta-incremental", oracle_sta_incremental, /*stride=*/1, true});
+  h.add_oracle({"signoff-incremental", oracle_signoff_incremental, /*stride=*/1, true});
   h.add_oracle({"grad-replay", oracle_grad_replay, /*stride=*/1, true});
   h.add_oracle({"thread-width", oracle_thread_width, /*stride=*/1, true});
   h.add_oracle({"db-roundtrip", oracle_db_roundtrip, /*stride=*/1, true});

@@ -195,6 +195,37 @@ TEST(IncrementalSta, DuplicateDirtyNetsAreDeduplicated) {
   expect_results_equal(dup_result, run_sta(f.design, moved, nullptr));
 }
 
+TEST(IncrementalSta, EmptyDirtyListIsAFreeExactNoOp) {
+  const Fixture f = make(119);
+  IncrementalSta inc(f.design);
+  const StaResult baseline = inc.analyze(f.forest, nullptr);
+  // Nothing moved, nothing declared dirty: the update must return the cached
+  // result bit-for-bit without re-propagating a single cell.
+  const StaResult& r = inc.update(f.forest, nullptr, {});
+  EXPECT_EQ(inc.last_update_cell_count(), 0);
+  ASSERT_EQ(r.arrival.size(), baseline.arrival.size());
+  for (std::size_t i = 0; i < r.arrival.size(); ++i) {
+    EXPECT_EQ(r.arrival[i], baseline.arrival[i]) << "pin " << i;
+    EXPECT_EQ(r.slew[i], baseline.slew[i]) << "pin " << i;
+  }
+  EXPECT_EQ(r.wns, baseline.wns);
+  EXPECT_EQ(r.tns, baseline.tns);
+  EXPECT_EQ(r.max_arrival, baseline.max_arrival);
+  EXPECT_EQ(r.num_violations, baseline.num_violations);
+  // And a later real update still works from the untouched cached state.
+  SteinerForest moved = f.forest;
+  int dirty_net = -1;
+  for (std::size_t t = 0; t < moved.trees.size(); ++t) {
+    if (moved.trees[t].num_steiner_nodes() > 0) {
+      dirty_net = move_one_net(moved, t, 9.0);
+      break;
+    }
+  }
+  ASSERT_GE(dirty_net, 0);
+  expect_results_equal(inc.update(moved, nullptr, {dirty_net}),
+                       run_sta(f.design, moved, nullptr));
+}
+
 TEST(IncrementalSta, ZeroSinkDirtyNetIsSkipped) {
   // A net with a driver but no sinks (a dangling output mid-edit) has no
   // tree and no timing contribution; listing it dirty must be a no-op, not

@@ -136,6 +136,32 @@ TEST(TraceTool, NonMonotoneKeepBestFailsVerify) {
   EXPECT_EQ(run_tool("verify " + report), 1);
 }
 
+TEST(TraceTool, SignoffProbeFieldsVerify) {
+  const std::string dir = testutil::test_tmp_dir();
+  const std::string path = dir + "/signoff_iters.jsonl";
+  obs::set_iteration_log_path(path);
+  obs::log_refine_iteration("d1", make_iter(0, -1.2));
+  obs::RefineIterationRecord probed = make_iter(1, -1.1);
+  probed.has_signoff = true;
+  probed.signoff_wns = -1.3;
+  probed.signoff_tns = -40.0;
+  probed.signoff_dirty_frac = 0.04;
+  probed.signoff_incremental = true;
+  obs::log_refine_iteration("d1", probed);
+  obs::set_iteration_log_path("");
+  EXPECT_EQ(run_tool("verify " + path), 0);
+
+  // An out-of-range dirty fraction must fail verification.
+  std::ofstream bad(dir + "/bad_signoff.jsonl");
+  bad << "{\"design\":\"d1\",\"iter\":0,\"wns\":-1,\"tns\":-1,\"best_wns\":-1,"
+         "\"best_tns\":-1,\"accept\":true,\"theta\":0.5,\"grad_norm\":1,"
+         "\"max_move\":1,\"lambda_w\":-200,\"lambda_t\":-2,\"wall_s\":0.001,"
+         "\"signoff_wns\":-1,\"signoff_tns\":-1,\"signoff_dirty_frac\":1.5,"
+         "\"signoff_incremental\":true}\n";
+  bad.close();
+  EXPECT_EQ(run_tool("verify " + dir + "/bad_signoff.jsonl"), 1);
+}
+
 TEST(TraceTool, DiffComparesTwoReports) {
   const std::string dir = testutil::test_tmp_dir();
   const std::string a = make_report(dir, "a.json", -1.2, -1.0);

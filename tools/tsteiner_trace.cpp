@@ -323,6 +323,26 @@ int verify_jsonl(const std::string& text, JsonlStats* stats) {
     if (accept == nullptr || !accept->is_bool()) {
       return fail("line %zu lacks boolean \"accept\"", line_no);
     }
+    // Optional sign-off probe fields: all-or-nothing per line, dirty
+    // fraction a valid fraction, incremental flag a boolean.
+    const JsonValue* so_wns = doc->find("signoff_wns");
+    const JsonValue* so_tns = doc->find("signoff_tns");
+    const JsonValue* so_frac = doc->find("signoff_dirty_frac");
+    const JsonValue* so_inc = doc->find("signoff_incremental");
+    const bool any_signoff = so_wns || so_tns || so_frac || so_inc;
+    if (any_signoff) {
+      if (so_wns == nullptr || !so_wns->is_number() || so_tns == nullptr ||
+          !so_tns->is_number() || so_frac == nullptr || !so_frac->is_number()) {
+        return fail("line %zu has a partial sign-off probe record", line_no);
+      }
+      if (so_inc == nullptr || !so_inc->is_bool()) {
+        return fail("line %zu lacks boolean \"signoff_incremental\"", line_no);
+      }
+      const double frac = so_frac->number;
+      if (!(frac >= 0.0 && frac <= 1.0)) {
+        return fail("line %zu: signoff_dirty_frac %g outside [0,1]", line_no, frac);
+      }
+    }
     const double bw = doc->number_or("best_wns", 0.0);
     const double bt = doc->number_or("best_tns", 0.0);
     auto [it, fresh] = best.emplace(design->str, std::make_pair(bw, bt));
