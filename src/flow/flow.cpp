@@ -144,6 +144,16 @@ const GlobalRouteResult* probe_route_cached(
   holder = std::make_shared<const GlobalRouteResult>(global_route(design, forest, probe));
   {
     std::lock_guard<std::mutex> lock(mu);
+    // Double-checked insert: concurrent constructors of the same (design,
+    // forest) both compute on a miss (the route is a pure function, so both
+    // results are identical); adopt the first inserted entry instead of
+    // letting duplicates crowd other keys out of the small LRU.
+    for (std::size_t i = 0; i < cache.size(); ++i) {
+      if (cache[i].key == key) {
+        holder = cache[i].route;
+        return holder.get();
+      }
+    }
     cache.insert(cache.begin(), Entry{key, holder});
     if (cache.size() > kMaxEntries) cache.resize(kMaxEntries);
   }

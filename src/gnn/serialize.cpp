@@ -69,11 +69,19 @@ std::vector<std::uint8_t> encode_model_payload(const TimingGnn& model, const std
   return w.take();
 }
 
-std::optional<TimingGnn> decode_model_payload(const std::uint8_t* data, std::size_t size,
-                                              const GnnConfig& config, int num_cell_types,
-                                              const std::string& tag) {
+namespace {
+
+/// Shared body of the two decode entry points: reads tag + stored config,
+/// then either validates against `expected` (strict mode) or adopts the
+/// stored config as-is (self-describing mode).
+std::optional<TimingGnn> decode_model_common(const std::uint8_t* data, std::size_t size,
+                                             const GnnConfig* expected, int num_cell_types,
+                                             const std::string* expected_tag,
+                                             std::string* tag_out) {
   db::ByteReader r(data, size);
-  if (r.str() != tag) return std::nullopt;
+  const std::string stored_tag = r.str();
+  if (expected_tag != nullptr && stored_tag != *expected_tag) return std::nullopt;
+  if (tag_out != nullptr) *tag_out = stored_tag;
   GnnConfig stored;
   stored.hidden = r.i32();
   stored.type_embed = r.i32();
@@ -82,9 +90,17 @@ std::optional<TimingGnn> decode_model_payload(const std::uint8_t* data, std::siz
   stored.soft_abs_delta = r.f64();
   stored.physics_anchor = r.u8() != 0;
   stored.seed = r.u64();
-  if (!r.ok() || !config_equal(stored, config)) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
+  if (expected != nullptr && !config_equal(stored, *expected)) return std::nullopt;
+  // Structural sanity for the self-describing path: the dims size parameter
+  // tensors, so hostile values must not reach the constructor.
+  if (stored.hidden <= 0 || stored.hidden > 4096 || stored.type_embed <= 0 ||
+      stored.type_embed > 4096 || stored.delay_hidden <= 0 || stored.delay_hidden > 4096 ||
+      stored.steiner_iters <= 0 || stored.steiner_iters > 64) {
+    return std::nullopt;
+  }
 
-  TimingGnn model(config, num_cell_types);
+  TimingGnn model(stored, num_cell_types);
   const std::uint32_t count = r.u32();
   if (!r.ok() || count != model.parameters().size()) return std::nullopt;
   for (Tensor& p : model.parameters()) {
@@ -98,6 +114,19 @@ std::optional<TimingGnn> decode_model_payload(const std::uint8_t* data, std::siz
   }
   if (!r.done()) return std::nullopt;
   return model;
+}
+
+}  // namespace
+
+std::optional<TimingGnn> decode_model_payload(const std::uint8_t* data, std::size_t size,
+                                              const GnnConfig& config, int num_cell_types,
+                                              const std::string& tag) {
+  return decode_model_common(data, size, &config, num_cell_types, &tag, nullptr);
+}
+
+std::optional<TimingGnn> decode_model_payload_any(const std::uint8_t* data, std::size_t size,
+                                                  int num_cell_types, std::string* tag_out) {
+  return decode_model_common(data, size, nullptr, num_cell_types, nullptr, tag_out);
 }
 
 bool save_model(const TimingGnn& model, const std::string& path, const std::string& tag) {

@@ -40,4 +40,12 @@ std::optional<TimingGnn> decode_model_payload(const std::uint8_t* data, std::siz
                                               const GnnConfig& config, int num_cell_types,
                                               const std::string& tag);
 
+/// Self-describing decode: the GnnConfig stored in the payload itself is
+/// adopted instead of validated against a caller expectation, and the stored
+/// tag is returned through `tag_out` (when non-null) rather than checked.
+/// Used by serve session snapshots, where the snapshot is the source of
+/// truth for the model architecture.
+std::optional<TimingGnn> decode_model_payload_any(const std::uint8_t* data, std::size_t size,
+                                                  int num_cell_types, std::string* tag_out);
+
 }  // namespace tsteiner

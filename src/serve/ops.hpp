@@ -1,0 +1,30 @@
+// Request semantics shared byte-for-byte between the server's handlers and
+// the direct-Flow reference paths (the serve differential oracle, the tests,
+// bench_serve's correctness gate). Keeping the forest transformation in one
+// function is what makes "bit-identical to a direct call" checkable: both
+// sides run this exact code, so any divergence is in the serving layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "serve/protocol.hpp"
+#include "steiner/steiner_tree.hpp"
+
+namespace tsteiner::serve {
+
+/// Apply what-if moves: every movable Steiner node of each listed net's tree
+/// shifts by (dx, dy), clamped to the die. Appends each affected net to
+/// `dirty_nets` in move order (the dirty-net contract for incremental
+/// sign-off). False + `error` on an out-of-range net or a net with no tree;
+/// the forest is left partially modified only on success of earlier moves,
+/// so callers must treat failure as fatal for the session's working forest —
+/// the server rejects the whole request *before* applying anything by
+/// validating first.
+bool validate_whatif_moves(const SteinerForest& forest, const Design& design,
+                           const std::vector<WhatIfMove>& moves, std::string* error);
+void apply_whatif_moves(SteinerForest* forest, const Design& design,
+                        const std::vector<WhatIfMove>& moves, std::vector<int>* dirty_nets);
+
+}  // namespace tsteiner::serve

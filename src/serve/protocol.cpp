@@ -1,0 +1,347 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tsteiner::serve {
+
+namespace {
+
+struct TypeName {
+  RequestType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {RequestType::kPing, "ping"},       {RequestType::kOpen, "open"},
+    {RequestType::kClose, "close"},     {RequestType::kStats, "stats"},
+    {RequestType::kShutdown, "shutdown"}, {RequestType::kSta, "sta"},
+    {RequestType::kSignoff, "signoff"}, {RequestType::kWhatIf, "whatif"},
+    {RequestType::kRefine, "refine"},
+};
+
+bool needs_session(RequestType type) {
+  return type == RequestType::kClose || type == RequestType::kSta ||
+         type == RequestType::kSignoff || type == RequestType::kWhatIf ||
+         type == RequestType::kRefine;
+}
+
+bool needs_fingerprint(RequestType type) {
+  return type == RequestType::kSta || type == RequestType::kSignoff ||
+         type == RequestType::kWhatIf || type == RequestType::kRefine;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Reads a non-negative integral JSON number; rejects fractions and NaN.
+bool read_uint(const obs::JsonValue& object, const char* name, bool required,
+               std::uint64_t* out, std::string* error) {
+  const obs::JsonValue* v = object.find(name);
+  if (v == nullptr) {
+    if (!required) return true;
+    return fail(error, std::string("missing field '") + name + "'");
+  }
+  if (!v->is_number() || !std::isfinite(v->number) || v->number < 0.0 ||
+      v->number != std::floor(v->number)) {
+    return fail(error, std::string("field '") + name + "' must be a non-negative integer");
+  }
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+/// Move coordinate: prefers "<name>_bits" (exact) over the decimal "<name>".
+bool read_move_coord(const obs::JsonValue& object, const char* name, double* out,
+                     std::string* error) {
+  const obs::JsonValue* bits = object.find(std::string(name) + "_bits");
+  if (bits != nullptr) {
+    if (!bits->is_string() || !double_from_bits_hex(bits->str, out)) {
+      return fail(error, std::string("field '") + name + "_bits' must be 16 hex digits");
+    }
+    return true;
+  }
+  const obs::JsonValue* v = object.find(name);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, std::string("move is missing numeric field '") + name + "'");
+  }
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+const char* request_type_name(RequestType type) {
+  for (const TypeName& t : kTypeNames) {
+    if (t.type == type) return t.name;
+  }
+  return "?";
+}
+
+std::string double_bits_hex(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llX", static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+bool double_from_bits_hex(const std::string& hex, double* value) {
+  if (hex.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    bits = bits << 4 | digit;
+  }
+  std::memcpy(value, &bits, sizeof(bits));
+  return true;
+}
+
+std::optional<Request> parse_request(const std::string& payload, std::string* error) {
+  std::string parse_error;
+  const auto doc = obs::parse_json(payload, &parse_error);
+  if (!doc) {
+    fail(error, "invalid JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    fail(error, "request payload must be a JSON object");
+    return std::nullopt;
+  }
+
+  std::uint64_t version = 0;
+  if (!read_uint(*doc, "v", /*required=*/true, &version, error)) return std::nullopt;
+  if (version != static_cast<std::uint64_t>(kSchemaVersion)) {
+    fail(error, "unsupported schema version " + std::to_string(version));
+    return std::nullopt;
+  }
+
+  Request req;
+  if (!read_uint(*doc, "id", /*required=*/true, &req.id, error)) return std::nullopt;
+
+  const obs::JsonValue* type = doc->find_string("type");
+  if (type == nullptr) {
+    fail(error, "missing field 'type'");
+    return std::nullopt;
+  }
+  bool known = false;
+  for (const TypeName& t : kTypeNames) {
+    if (type->str == t.name) {
+      req.type = t.type;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    fail(error, "unknown request type '" + type->str + "'");
+    return std::nullopt;
+  }
+
+  if (req.type == RequestType::kOpen) {
+    const obs::JsonValue* snapshot = doc->find_string("snapshot");
+    if (snapshot == nullptr || snapshot->str.empty()) {
+      fail(error, "open requires a non-empty 'snapshot' path");
+      return std::nullopt;
+    }
+    req.snapshot = snapshot->str;
+  }
+
+  if (needs_session(req.type)) {
+    const obs::JsonValue* session = doc->find_string("session");
+    if (session == nullptr || session->str.empty()) {
+      fail(error, std::string(request_type_name(req.type)) +
+                      " requires a non-empty 'session' id");
+      return std::nullopt;
+    }
+    req.session = session->str;
+  }
+  if (needs_fingerprint(req.type)) {
+    const obs::JsonValue* fp = doc->find_string("fingerprint");
+    if (fp == nullptr || fp->str.empty()) {
+      fail(error, std::string(request_type_name(req.type)) +
+                      " requires the session 'fingerprint'");
+      return std::nullopt;
+    }
+    req.fingerprint = fp->str;
+  }
+
+  if (req.type == RequestType::kWhatIf) {
+    const obs::JsonValue* moves = doc->find_array("moves");
+    if (moves == nullptr) {
+      fail(error, "whatif requires a 'moves' array");
+      return std::nullopt;
+    }
+    for (const obs::JsonValue& entry : moves->array) {
+      if (!entry.is_object()) {
+        fail(error, "every move must be an object");
+        return std::nullopt;
+      }
+      WhatIfMove move;
+      std::uint64_t net = 0;
+      if (!read_uint(entry, "net", /*required=*/true, &net, error)) return std::nullopt;
+      move.net = static_cast<int>(net);
+      if (!read_move_coord(entry, "dx", &move.dx, error)) return std::nullopt;
+      if (!read_move_coord(entry, "dy", &move.dy, error)) return std::nullopt;
+      req.moves.push_back(move);
+    }
+  }
+
+  if (req.type == RequestType::kRefine) {
+    std::uint64_t iterations = 0, probe_every = 0;
+    if (!read_uint(*doc, "iterations", /*required=*/false, &iterations, error)) {
+      return std::nullopt;
+    }
+    if (!read_uint(*doc, "probe_every", /*required=*/false, &probe_every, error)) {
+      return std::nullopt;
+    }
+    if (iterations > 100000 || probe_every > 100000) {
+      fail(error, "refine iteration counts are capped at 100000");
+      return std::nullopt;
+    }
+    req.iterations = static_cast<int>(iterations);
+    req.probe_every = static_cast<int>(probe_every);
+    if (const obs::JsonValue* commit = doc->find("commit")) {
+      if (!commit->is_bool()) {
+        fail(error, "field 'commit' must be a boolean");
+        return std::nullopt;
+      }
+      req.commit = commit->boolean;
+    }
+  }
+  return req;
+}
+
+std::string encode_request(const Request& request) {
+  JsonBuilder b;
+  b.field_u64("v", static_cast<std::uint64_t>(kSchemaVersion));
+  b.field_u64("id", request.id);
+  b.field_str("type", request_type_name(request.type));
+  if (!request.snapshot.empty()) b.field_str("snapshot", request.snapshot);
+  if (!request.session.empty()) b.field_str("session", request.session);
+  if (!request.fingerprint.empty()) b.field_str("fingerprint", request.fingerprint);
+  if (request.type == RequestType::kWhatIf) {
+    std::string moves = "[";
+    for (std::size_t i = 0; i < request.moves.size(); ++i) {
+      const WhatIfMove& m = request.moves[i];
+      JsonBuilder mb;
+      mb.field_i64("net", m.net);
+      mb.field_double("dx", m.dx);
+      mb.field_double("dy", m.dy);
+      if (i != 0) moves += ',';
+      moves += mb.take();
+    }
+    moves += ']';
+    b.field_raw("moves", moves);
+  }
+  if (request.type == RequestType::kRefine) {
+    if (request.iterations > 0) b.field_i64("iterations", request.iterations);
+    if (request.probe_every > 0) b.field_i64("probe_every", request.probe_every);
+    b.field_bool("commit", request.commit);
+  }
+  return b.take();
+}
+
+std::string encode_error(std::uint64_t id, const std::string& message) {
+  JsonBuilder b;
+  b.field_u64("v", static_cast<std::uint64_t>(kSchemaVersion));
+  b.field_u64("id", id);
+  b.field_bool("ok", false);
+  b.field_str("error", message);
+  return b.take();
+}
+
+JsonBuilder::JsonBuilder() { out_ = "{"; }
+
+void JsonBuilder::sep(const char* name) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += name;  // field names are compile-time literals, never escaped
+  out_ += "\":";
+}
+
+JsonBuilder& JsonBuilder::field_u64(const char* name, std::uint64_t value) {
+  sep(name);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_i64(const char* name, long long value) {
+  sep(name);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_bool(const char* name, bool value) {
+  sep(name);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_str(const char* name, const std::string& value) {
+  sep(name);
+  out_ += '"';
+  out_ += obs::json_escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_double(const char* name, double value) {
+  field_double_approx(name, value);
+  sep((std::string(name) + "_bits").c_str());
+  out_ += '"';
+  out_ += double_bits_hex(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_double_approx(const char* name, double value) {
+  sep(name);
+  char buf[40];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+  } else {
+    // JSON has no literals for non-finite values; the bits field (when the
+    // caller used field_double) still carries the exact pattern.
+    out_ += "null";
+  }
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::field_raw(const char* name, const std::string& json) {
+  sep(name);
+  out_ += json;
+  return *this;
+}
+
+std::string JsonBuilder::take() {
+  if (!taken_) {
+    out_ += '}';
+    taken_ = true;
+  }
+  return out_;
+}
+
+bool read_double_field(const obs::JsonValue& object, const std::string& name, double* value) {
+  if (const obs::JsonValue* bits = object.find(name + "_bits")) {
+    if (bits->is_string() && double_from_bits_hex(bits->str, value)) return true;
+  }
+  const obs::JsonValue* v = object.find(name);
+  if (v == nullptr || !v->is_number()) return false;
+  *value = v->number;
+  return true;
+}
+
+}  // namespace tsteiner::serve

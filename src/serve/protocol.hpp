@@ -1,0 +1,107 @@
+// Versioned request/response schemas for tsteiner_serve (schema v1).
+//
+// Frame payloads are JSON objects. Every request carries {"v":1,"id":N,
+// "type":"..."} plus type-specific fields; every response echoes the id and
+// carries {"ok":true,...} (kResponse) or {"ok":false,"error":"..."}
+// (kError). Progress frames echo the id and carry {"progress":"..."}.
+//
+// Exactness contract: every floating-point result field X is emitted twice —
+// "X" as a %.17g decimal for humans, and "X_bits" as the 16-hex-digit IEEE
+// bit pattern. The differential tests and the serve oracle compare the bits,
+// so "bit-identical to the direct Flow API" is checked literally, not up to
+// printf round-tripping. Clients sending coordinates (what-if moves) may
+// likewise attach _bits fields; the server prefers them when present.
+//
+// parse_request is strict: wrong version, unknown type, missing or
+// mistyped fields all fail with a precise message that the server returns
+// as a clean kError frame (the connection stays usable — malformed *frames*
+// kill a connection, malformed *requests* only fail the request).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tsteiner::serve {
+
+inline constexpr int kSchemaVersion = 1;
+
+enum class RequestType {
+  kPing,
+  kOpen,      ///< open/restore a session from a TSteinerDB snapshot
+  kClose,     ///< drop one session
+  kStats,     ///< server + session-cache statistics
+  kShutdown,  ///< begin graceful drain
+  kSta,       ///< pre-routing STA on the session's working forest
+  kSignoff,   ///< full GR -> DR -> STA sign-off on the working forest
+  kWhatIf,    ///< move Steiner trees, incremental sign-off probe
+  kRefine,    ///< run the paper's refinement loop on the working forest
+};
+
+const char* request_type_name(RequestType type);
+
+struct WhatIfMove {
+  int net = 0;
+  double dx = 0.0;
+  double dy = 0.0;
+};
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  std::uint64_t id = 0;
+  std::string session;      ///< session ops
+  std::string fingerprint;  ///< hex snapshot fingerprint, session ops
+  std::string snapshot;     ///< open: path to a .tsdb snapshot
+  std::vector<WhatIfMove> moves;
+  int iterations = 0;   ///< refine: max iterations (0 = RefineOptions default)
+  int probe_every = 0;  ///< refine: sign-off probe cadence (0 = off)
+  bool commit = true;   ///< refine: adopt the refined forest as working state
+};
+
+/// Strict schema-v1 parse. nullopt + `error` on any violation.
+std::optional<Request> parse_request(const std::string& payload, std::string* error);
+
+/// Client-side encoder (always emits _bits for move coordinates).
+std::string encode_request(const Request& request);
+
+/// {"v":1,"id":N,"ok":false,"error":...} — the kError frame payload.
+std::string encode_error(std::uint64_t id, const std::string& message);
+
+/// 16 uppercase hex digits of the IEEE-754 bit pattern.
+std::string double_bits_hex(double value);
+/// Inverse of double_bits_hex; false on anything but exactly 16 hex digits.
+bool double_from_bits_hex(const std::string& hex, double* value);
+
+/// Deterministic JSON object builder used for every server-side payload.
+/// Fields appear in insertion order; doubles get the dual decimal+bits
+/// encoding via field_double.
+class JsonBuilder {
+ public:
+  JsonBuilder();
+  JsonBuilder& field_u64(const char* name, std::uint64_t value);
+  JsonBuilder& field_i64(const char* name, long long value);
+  JsonBuilder& field_bool(const char* name, bool value);
+  JsonBuilder& field_str(const char* name, const std::string& value);
+  /// "name": <%.17g>, "name_bits": "<hex16>"
+  JsonBuilder& field_double(const char* name, double value);
+  /// "name": <%.17g> only (latency/telemetry values with no exactness claim).
+  JsonBuilder& field_double_approx(const char* name, double value);
+  /// "name": <verbatim json> — caller guarantees validity.
+  JsonBuilder& field_raw(const char* name, const std::string& json);
+  std::string take();
+
+ private:
+  void sep(const char* name);
+  std::string out_;
+  bool first_ = true;
+  bool taken_ = false;
+};
+
+/// Shared response-field helpers: read back a dual-encoded double, fall back
+/// to the decimal when bits are absent. Used by clients and tests.
+bool read_double_field(const obs::JsonValue& object, const std::string& name, double* value);
+
+}  // namespace tsteiner::serve

@@ -1,0 +1,139 @@
+// tsteiner_serve core: a long-running multi-tenant batch server.
+//
+// Transport: a unix-domain or loopback-TCP listener; each connection speaks
+// the length-prefixed frame protocol (serve/framing.hpp) carrying schema-v1
+// JSON requests (serve/protocol.hpp). Malformed frames poison and close the
+// connection; malformed requests get a clean kError frame and the connection
+// stays usable.
+//
+// Threading model: one reader thread per connection parses and enqueues
+// requests; a single dispatcher thread repeatedly takes a head-of-line batch
+// (at most one request per session, preserving each session's FIFO order)
+// and executes it across the deterministic worker pool via parallel_for.
+// Sessions therefore interleave freely while a session's requests never
+// reorder, and — because the pool's chunking is width-invariant and nested
+// parallelism runs serially — every response is bit-identical to the same
+// call made directly on Flow / IncrementalSignoff, at any thread width.
+//
+// Shutdown: request_shutdown() (or a SIGTERM handler calling the
+// async-signal-safe notify_sigterm()) stops the acceptor, drains queued and
+// in-flight requests, then closes connections. stop() additionally joins all
+// threads; the destructor calls stop().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/framing.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace tsteiner::serve {
+
+struct ServeOptions {
+  /// When non-empty, listen on this unix-domain socket path; otherwise on
+  /// loopback TCP (tcp_port 0 picks an ephemeral port, see bound_tcp_port).
+  std::string unix_socket;
+  int tcp_port = 0;
+  std::size_t cache_budget_bytes = 256ull << 20;
+  std::size_t max_cached_designs = 64;
+  std::size_t max_frame_bytes = kDefaultMaxPayloadBytes;
+  FlowOptions flow;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;  ///< total accepted
+  std::uint64_t requests = 0;     ///< well-formed requests executed
+  std::uint64_t errors = 0;       ///< kError frames sent (parse + execution)
+  std::uint64_t progress_frames = 0;
+  std::uint64_t batches = 0;  ///< dispatcher batches executed
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start acceptor/dispatcher threads.
+  bool start(std::string* error);
+  /// Graceful: stop accepting, drain queued and in-flight requests, close
+  /// connections, join every thread. Idempotent.
+  void stop();
+  /// Begin the drain without blocking (the shutdown request handler and the
+  /// SIGTERM path use this); stop() still joins.
+  void request_shutdown();
+  bool draining() const { return draining_.load(); }
+
+  int bound_tcp_port() const { return bound_tcp_port_; }
+  SessionManager& sessions() { return sessions_; }
+  ServerStats stats() const;
+
+  /// Async-signal-safe (a plain atomic store): SIGTERM handlers call this;
+  /// the acceptor and dispatcher poll it and begin a graceful drain.
+  static void notify_sigterm();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::thread reader;
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+  };
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    Request request;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void dispatch_loop();
+  std::vector<Pending> take_batch();  ///< head-of-line selection under mu_
+  void execute(const Pending& pending);
+  void send_frame(const std::shared_ptr<Connection>& conn, FrameKind kind,
+                  const std::string& payload);
+  void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t id,
+                  const std::string& message);
+  void close_all_connections();
+
+  void handle_ping(const Pending& p);
+  void handle_open(const Pending& p);
+  void handle_close(const Pending& p);
+  void handle_stats(const Pending& p);
+  void handle_shutdown(const Pending& p);
+  void handle_sta(const Pending& p);
+  void handle_signoff(const Pending& p);
+  void handle_whatif(const Pending& p);
+  void handle_refine(const Pending& p);
+
+  ServeOptions options_;
+  SessionManager sessions_;
+  int listen_fd_ = -1;
+  int bound_tcp_port_ = 0;
+  std::string unix_path_;  ///< unlinked on stop when non-empty
+
+  std::thread acceptor_;
+  std::thread dispatcher_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex mu_;  ///< queue + connections + stats
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_connection_ = 1;
+  ServerStats stats_;
+};
+
+}  // namespace tsteiner::serve

@@ -1,0 +1,335 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "db/bytes.hpp"
+#include "db/codecs.hpp"
+#include "db/container.hpp"
+#include "db/crc32.hpp"
+#include "gnn/serialize.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace tsteiner::serve {
+
+namespace {
+
+constexpr char kServeKind[] = "serve";
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Same META payload layout as flow/snapshot (str kind, str tag, u32
+// design_count, u8 has_model, f64 final_train_loss, u32 library_fingerprint)
+// so `tsteiner_db info` prints serve snapshots like any other container.
+std::vector<std::uint8_t> encode_serve_meta(bool has_model, std::uint32_t lib_fingerprint) {
+  db::ByteWriter w;
+  w.str(kServeKind);
+  w.str("");  // tag unused: serve snapshots are self-describing
+  w.u32(1);   // design_count
+  w.u8(has_model ? 1 : 0);
+  w.f64(0.0);  // final_train_loss (not applicable)
+  w.u32(lib_fingerprint);
+  return w.take();
+}
+
+struct ServeMeta {
+  bool has_model = false;
+  std::uint32_t library_fingerprint = 0;
+};
+
+std::optional<ServeMeta> decode_serve_meta(const std::uint8_t* data, std::size_t size) {
+  db::ByteReader r(data, size);
+  const std::string kind = r.str();
+  r.str();  // tag
+  const std::uint32_t design_count = r.u32();
+  ServeMeta m;
+  m.has_model = r.u8() != 0;
+  r.f64();  // final_train_loss
+  m.library_fingerprint = r.u32();
+  if (!r.done() || kind != kServeKind || design_count != 1) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> index_prefixed(const std::vector<std::uint8_t>& payload) {
+  db::ByteWriter w;
+  w.u32(0);
+  w.raw(payload);
+  return w.take();
+}
+
+/// Indexed single chunk (leading u32 index 0, as flow/snapshot writes them).
+bool indexed_payload(const db::DbReader& reader, std::uint32_t type, const std::uint8_t** data,
+                     std::size_t* size) {
+  const db::ChunkInfo* chunk = reader.find(type);
+  if (chunk == nullptr || chunk->size < 4) return false;
+  db::ByteReader r(reader.payload(*chunk), 4);
+  if (r.u32() != 0) return false;
+  *data = reader.payload(*chunk) + 4;
+  *size = static_cast<std::size_t>(chunk->size) - 4;
+  return true;
+}
+
+/// Rough resident-size estimate for cache accounting. It only has to rank
+/// designs consistently and scale with design size; exactness is not needed.
+std::size_t estimate_bytes(const LoadedDesign& d) {
+  std::size_t bytes = 1 << 16;  // fixed overhead
+  bytes += d.design->cells().size() * 64;
+  bytes += d.design->pins().size() * 96;
+  bytes += d.design->nets().size() * 80;
+  for (const SteinerTree& t : d.flow->initial_forest().trees) {
+    bytes += t.nodes.size() * 24 + t.edges.size() * 8 + 64;
+  }
+  bytes *= 2;  // the session working forest mirrors the initial one
+  if (d.model != nullptr) {
+    for (const Tensor& p : d.model->parameters()) bytes += p.size() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+bool save_session_snapshot(const BenchmarkSpec& spec, const Design& design,
+                           const FlowCalibration& cal, const SteinerForest& forest,
+                           const CellLibrary& lib, const TimingGnn* model,
+                           const std::string& path) {
+  TS_TRACE_SPAN_CAT("serve.save_session_snapshot", "db");
+  db::DbWriter writer;
+  if (!writer.open(path)) return false;
+  db::ByteWriter cal_w;
+  cal_w.u32(0);
+  cal_w.f64(cal.clock_period_ns);
+  cal_w.f64(cal.fixed_h_cap);
+  cal_w.f64(cal.fixed_v_cap);
+  bool ok =
+      writer.add_chunk(db::kChunkMeta,
+                       encode_serve_meta(model != nullptr, db::library_fingerprint(lib))) &&
+      writer.add_chunk(db::kChunkLibrary, db::encode_library(lib)) &&
+      writer.add_chunk(db::kChunkDesign, index_prefixed(db::encode_design(spec, design))) &&
+      writer.add_chunk(db::kChunkFlowCal, cal_w.take()) &&
+      writer.add_chunk(db::kChunkForest, index_prefixed(db::encode_forest(forest)));
+  if (ok && model != nullptr) {
+    ok = writer.add_chunk(db::kChunkModel, encode_model_payload(*model, kServeKind));
+  }
+  return writer.finish() && ok;
+}
+
+std::string snapshot_fingerprint(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot read snapshot '" + path + "'");
+    return {};
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    fail(error, "I/O error reading snapshot '" + path + "'");
+    return {};
+  }
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08X",
+                db::crc32(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+  return buf;
+}
+
+std::shared_ptr<LoadedDesign> load_session_design(const std::string& path,
+                                                  const FlowOptions& flow_options,
+                                                  std::string* error) {
+  TS_TRACE_SPAN_CAT("serve.load_session_design", "db");
+  auto loaded = std::make_shared<LoadedDesign>();
+  loaded->path = path;
+  loaded->fingerprint = snapshot_fingerprint(path, error);
+  if (loaded->fingerprint.empty()) return nullptr;
+
+  db::DbReader reader;
+  std::string open_error;
+  if (!reader.open(path, &open_error)) {
+    fail(error, "snapshot '" + path + "' rejected: " + open_error);
+    return nullptr;
+  }
+
+  const db::ChunkInfo* meta_chunk = reader.find(db::kChunkMeta);
+  const auto meta =
+      meta_chunk == nullptr
+          ? std::nullopt
+          : decode_serve_meta(reader.payload(*meta_chunk),
+                              static_cast<std::size_t>(meta_chunk->size));
+  if (!meta) {
+    fail(error, "snapshot '" + path + "' is not a serve-kind container");
+    return nullptr;
+  }
+
+  const db::ChunkInfo* lib_chunk = reader.find(db::kChunkLibrary);
+  auto lib = lib_chunk == nullptr
+                 ? std::nullopt
+                 : db::decode_library(reader.payload(*lib_chunk),
+                                      static_cast<std::size_t>(lib_chunk->size));
+  if (!lib) {
+    fail(error, "snapshot '" + path + "' has no valid embedded library");
+    return nullptr;
+  }
+  loaded->lib = std::make_unique<CellLibrary>(std::move(*lib));
+  if (db::library_fingerprint(*loaded->lib) != meta->library_fingerprint) {
+    fail(error, "snapshot '" + path + "' library fingerprint mismatch");
+    return nullptr;
+  }
+
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  if (!indexed_payload(reader, db::kChunkDesign, &data, &size)) {
+    fail(error, "snapshot '" + path + "' has no design chunk");
+    return nullptr;
+  }
+  auto decoded = db::decode_design(data, size, *loaded->lib);
+  if (!decoded) {
+    fail(error, "snapshot '" + path + "' design chunk is malformed");
+    return nullptr;
+  }
+  loaded->spec = std::move(decoded->spec);
+  loaded->design = std::make_unique<Design>(std::move(decoded->design));
+
+  if (!indexed_payload(reader, db::kChunkFlowCal, &data, &size)) {
+    fail(error, "snapshot '" + path + "' has no calibration chunk");
+    return nullptr;
+  }
+  db::ByteReader cal_reader(data, size);
+  FlowCalibration cal;
+  cal.clock_period_ns = cal_reader.f64();
+  cal.fixed_h_cap = cal_reader.f64();
+  cal.fixed_v_cap = cal_reader.f64();
+  if (!cal_reader.done()) {
+    fail(error, "snapshot '" + path + "' calibration chunk is malformed");
+    return nullptr;
+  }
+
+  if (!indexed_payload(reader, db::kChunkForest, &data, &size)) {
+    fail(error, "snapshot '" + path + "' has no forest chunk");
+    return nullptr;
+  }
+  auto forest = db::decode_forest(data, size);
+  if (!forest || forest->net_to_tree.size() != loaded->design->nets().size()) {
+    fail(error, "snapshot '" + path + "' forest chunk is malformed");
+    return nullptr;
+  }
+  loaded->flow = std::make_unique<Flow>(
+      Flow::from_snapshot(loaded->design.get(), flow_options, cal, std::move(*forest)));
+
+  if (meta->has_model) {
+    const db::ChunkInfo* model_chunk = reader.find(db::kChunkModel);
+    auto model = model_chunk == nullptr
+                     ? std::nullopt
+                     : decode_model_payload_any(reader.payload(*model_chunk),
+                                                static_cast<std::size_t>(model_chunk->size),
+                                                loaded->lib->num_types(), nullptr);
+    if (!model) {
+      fail(error, "snapshot '" + path + "' model chunk is malformed");
+      return nullptr;
+    }
+    loaded->model = std::make_unique<TimingGnn>(std::move(*model));
+  }
+
+  loaded->approx_bytes = estimate_bytes(*loaded);
+  return loaded;
+}
+
+std::shared_ptr<LoadedDesign> SessionManager::acquire_design(const std::string& path,
+                                                             std::string* error) {
+  // Fingerprint first: a cache hit requires the *current* file bytes to match
+  // the cached entry, so a rewritten snapshot is never served stale.
+  const std::string fingerprint = snapshot_fingerprint(path, error);
+  if (fingerprint.empty()) return nullptr;
+
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    if (cache_[i]->path != path) continue;
+    if (cache_[i]->fingerprint == fingerprint) {
+      auto hit = cache_[i];
+      cache_.erase(cache_.begin() + static_cast<long>(i));
+      cache_.insert(cache_.begin(), hit);  // move to MRU
+      ++stats_.cache_hits;
+      return hit;
+    }
+    // Same path, different bytes: drop the stale entry and reload.
+    cache_.erase(cache_.begin() + static_cast<long>(i));
+    break;
+  }
+
+  // Cold load. Holding mu_ serializes concurrent cold opens; restore cost is
+  // bounded and correctness is simpler than per-path load latches.
+  auto loaded = load_session_design(path, options_.flow, error);
+  if (loaded == nullptr) return nullptr;
+  ++stats_.loads;
+  cache_.insert(cache_.begin(), loaded);
+  evict_over_budget();
+  return loaded;
+}
+
+void SessionManager::evict_over_budget() {
+  std::size_t total = 0;
+  for (const auto& d : cache_) total += d->approx_bytes;
+  // Never evict the MRU entry (the one the current open needs).
+  while (cache_.size() > 1 &&
+         (total > options_.budget_bytes || cache_.size() > options_.max_designs)) {
+    total -= cache_.back()->approx_bytes;
+    TS_VERBOSE("serve: evicting cached design '%s' (%zu bytes)", cache_.back()->path.c_str(),
+               cache_.back()->approx_bytes);
+    cache_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<Session> SessionManager::open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto loaded = acquire_design(path, error);
+  if (loaded == nullptr) return nullptr;
+  auto session = std::make_shared<Session>();
+  session->id = "s" + std::to_string(next_session_++);
+  session->loaded = std::move(loaded);
+  session->forest = session->loaded->flow->initial_forest();
+  ++stats_.opens;
+  sessions_.push_back(session);
+  return session;
+}
+
+std::shared_ptr<Session> SessionManager::find(const std::string& id,
+                                              const std::string& fingerprint,
+                                              std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->id != id) continue;
+    if (session->loaded->fingerprint != fingerprint) {
+      fail(error, "fingerprint mismatch for session '" + id + "': session has " +
+                      session->loaded->fingerprint + ", request says " + fingerprint);
+      return nullptr;
+    }
+    return session;
+  }
+  fail(error, "no such session '" + id + "'");
+  return nullptr;
+}
+
+bool SessionManager::close(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->id == id) {
+      sessions_.erase(sessions_.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionManagerStats s = stats_;
+  s.cached_designs = cache_.size();
+  s.cached_bytes = 0;
+  for (const auto& d : cache_) s.cached_bytes += d->approx_bytes;
+  s.open_sessions = sessions_.size();
+  return s;
+}
+
+}  // namespace tsteiner::serve

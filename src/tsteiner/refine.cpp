@@ -262,6 +262,7 @@ RefineResult refine_steiner_points(const Design& design, const SteinerForest& in
     m_lambda_w.set(weights.lambda_w);
     m_lambda_t.set(weights.lambda_t);
     if (obs::iteration_log_enabled()) obs::log_refine_iteration(design.name(), rec);
+    if (options.iteration_sink) options.iteration_sink(rec);
     result.iteration_log.push_back(rec);
     ++t;
     if (t >= options.max_iterations) break;

@@ -81,6 +81,11 @@ struct RefineOptions {
   /// (signoff_* fields); the refine trajectory is unaffected.
   int signoff_probe_every = 0;
   SignoffProbeFn signoff_probe;
+  /// Streaming consumer of per-iteration telemetry: invoked with each
+  /// completed record as it is appended to RefineResult::iteration_log
+  /// (tsteiner_serve forwards these as progress frames). Purely
+  /// observational — the refine trajectory is unaffected.
+  std::function<void(const obs::RefineIterationRecord&)> iteration_sink;
 };
 
 struct RefineResult {

@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdarg>
@@ -34,6 +35,15 @@ double log_uptime_s() {
   return std::chrono::duration<double>(Clock::now() - epoch).count();
 }
 
+/// Per-thread attribution tag (see ScopedLogTag). A plain thread_local
+/// std::string would run non-trivial destructors at thread exit while the
+/// pool may still be logging; a leaked pointer per thread avoids any
+/// shutdown-order hazard (threads are few and long-lived).
+std::string& thread_log_tag() {
+  thread_local std::string* tag = new std::string();
+  return *tag;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -43,6 +53,10 @@ void set_log_level(LogLevel level) {
 LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
+
+void set_log_tag(const std::string& tag) { thread_log_tag() = tag; }
+
+const std::string& log_tag() { return thread_log_tag(); }
 
 void logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
@@ -56,7 +70,12 @@ void logf(LogLevel level, const char* fmt, ...) {
   std::size_t cap = sizeof(stack_buf);
 
   std::size_t prefix_len = 0;
-  if (static_cast<int>(level) >= static_cast<int>(LogLevel::kVerbose)) {
+  const std::string& tag = thread_log_tag();
+  if (!tag.empty()) {
+    const int n = std::snprintf(buf, cap, "[%9.3f t%d %s] ", log_uptime_s(),
+                                parallel_worker_index(), tag.c_str());
+    prefix_len = n > 0 ? std::min(static_cast<std::size_t>(n), cap - 1) : 0;
+  } else if (static_cast<int>(level) >= static_cast<int>(LogLevel::kVerbose)) {
     const int n = std::snprintf(buf, cap, "[%9.3f t%d] ", log_uptime_s(),
                                 parallel_worker_index());
     prefix_len = n > 0 ? static_cast<std::size_t>(n) : 0;

@@ -14,6 +14,10 @@
 #include "flow/incremental_signoff.hpp"
 #include "gnn/graph_cache.hpp"
 #include "gnn/model.hpp"
+#include "serve/client.hpp"
+#include "serve/ops.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "sta/incremental.hpp"
 #include "tsteiner/gradient.hpp"
 #include "tsteiner/penalty.hpp"
@@ -656,6 +660,154 @@ std::string oracle_keep_best(OracleContext& ctx) {
   return {};
 }
 
+// --- oracle: serve responses vs direct Flow / IncrementalSignoff -----------
+
+/// Bit-compare a dual-encoded response double against the direct result.
+std::string compare_response_double(const obs::JsonValue& body, const std::string& name,
+                                    double expected) {
+  double got = 0.0;
+  if (!serve::read_double_field(body, name, &got)) {
+    return "response is missing field '" + name + "'";
+  }
+  if (std::memcmp(&got, &expected, sizeof(double)) != 0) {
+    return "'" + name + "' not bit-identical: server " + serve::double_bits_hex(got) +
+           " vs direct " + serve::double_bits_hex(expected);
+  }
+  return {};
+}
+
+std::string oracle_serve(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  Rng& rng = *ctx.rng;
+
+  // Direct reference side: a cold-calibrated Flow plus its own incremental
+  // sign-off. The serve side restores a snapshot of this calibration, so
+  // bit-identical responses prove snapshot + session + dispatch add nothing.
+  Design design = c.design;  // the Flow constructor recalibrates the clock
+  const Flow flow(&design);
+  const std::vector<int> candidates = movable_trees(flow.initial_forest());
+  if (candidates.empty()) return {};
+
+  BenchmarkSpec spec;
+  spec.name = c.params.name;
+  spec.target_cells = static_cast<int>(c.num_cells());
+  spec.endpoints = static_cast<int>(design.endpoint_pins().size());
+  spec.seed = c.seed;
+  const std::string snap = ctx.work_dir + "/serve_" + std::to_string(c.seed) + ".tsdb";
+  if (!serve::save_session_snapshot(spec, design, flow.calibration(), flow.initial_forest(),
+                                    fuzz_library(), nullptr, snap)) {
+    return "cannot write serve snapshot " + snap;
+  }
+
+  serve::ServeOptions serve_opts;
+  serve_opts.tcp_port = 0;  // ephemeral loopback; unix paths can exceed sun_path
+  serve::Server server(serve_opts);
+  std::string error;
+  if (!server.start(&error)) return "server start failed: " + error;
+
+  serve::ServeClient client;
+  if (!client.connect_tcp(server.bound_tcp_port(), &error)) {
+    return "client connect failed: " + error;
+  }
+  const auto opened = client.open(snap);
+  if (!opened.ok) return "open failed: " + opened.error;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  if (session == nullptr || fingerprint == nullptr) return "open response lacks session id";
+
+  IncrementalSignoff ref(&design, flow.options());
+  SteinerForest cur = flow.initial_forest();
+  const double die_w = static_cast<double>(design.die().width());
+
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    // Build a what-if batch over a few random nets.
+    std::vector<int> picks = candidates;
+    rng.shuffle(picks);
+    picks.resize(1 + rng.index(std::min<std::size_t>(3, picks.size())));
+    serve::Request whatif;
+    whatif.type = serve::RequestType::kWhatIf;
+    whatif.session = session->str;
+    whatif.fingerprint = fingerprint->str;
+    for (int pick : picks) {
+      serve::WhatIfMove move;
+      move.net = cur.trees[static_cast<std::size_t>(pick)].net;
+      move.dx = rng.uniform(-c.disturb_dist, c.disturb_dist);
+      move.dy = rng.uniform(-c.disturb_dist, c.disturb_dist);
+      whatif.moves.push_back(move);
+    }
+
+    const auto reply = client.call(whatif);
+    if (!reply.ok) return "whatif failed: " + reply.error;
+
+    // Direct side applies the *same shared op* to its own forest copy.
+    std::vector<int> dirty;
+    serve::apply_whatif_moves(&cur, design, whatif.moves, &dirty);
+    if (ctx.mutate && round == kRounds - 1) {
+      // The injected bug: the direct reference moves one extra tree (far
+      // enough to change gcell endpoints) that the server never saw. The
+      // comparison below must flag the divergence — if it passes anyway the
+      // oracle is vacuous.
+      serve::WhatIfMove extra;
+      extra.net = cur.trees[static_cast<std::size_t>(picks[0])].net;
+      extra.dx = std::max(c.disturb_dist, die_w / 3.0);
+      extra.dy = 0.0;
+      serve::apply_whatif_moves(&cur, design, {extra}, &dirty);
+    }
+    const IncrementalSignoff::Result& direct = ref.update(cur, dirty);
+
+    std::string msg = compare_response_double(reply.body, "wns_ns", direct.metrics.wns_ns);
+    if (msg.empty()) {
+      msg = compare_response_double(reply.body, "tns_ns", direct.metrics.tns_ns);
+    }
+    if (msg.empty()) {
+      msg = compare_response_double(reply.body, "wirelength_dbu",
+                                    direct.metrics.wirelength_dbu);
+    }
+    if (msg.empty() &&
+        reply.body.number_or("num_vios", -1.0) != static_cast<double>(direct.metrics.num_vios)) {
+      msg = "violation count diverges";
+    }
+    if (!msg.empty()) return "whatif round " + std::to_string(round) + ": " + msg;
+
+    // Pre-routing STA must agree on the same working forest too.
+    serve::Request sta;
+    sta.type = serve::RequestType::kSta;
+    sta.session = session->str;
+    sta.fingerprint = fingerprint->str;
+    const auto sta_reply = client.call(sta);
+    if (!sta_reply.ok) return "sta failed: " + sta_reply.error;
+    const StaResult direct_sta = flow.run_preroute_sta(cur);
+    msg = compare_response_double(sta_reply.body, "wns_ns", direct_sta.wns);
+    if (msg.empty()) msg = compare_response_double(sta_reply.body, "tns_ns", direct_sta.tns);
+    if (!msg.empty()) return "sta round " + std::to_string(round) + ": " + msg;
+  }
+
+  // Full sign-off through the session must match the golden pipeline.
+  serve::Request signoff;
+  signoff.type = serve::RequestType::kSignoff;
+  signoff.session = session->str;
+  signoff.fingerprint = fingerprint->str;
+  const auto signoff_reply = client.call(signoff);
+  if (!signoff_reply.ok) return "signoff failed: " + signoff_reply.error;
+  const FlowResult golden = flow.run_signoff(cur);
+  std::string msg =
+      compare_response_double(signoff_reply.body, "wns_ns", golden.metrics.wns_ns);
+  if (msg.empty()) {
+    msg = compare_response_double(signoff_reply.body, "tns_ns", golden.metrics.tns_ns);
+  }
+  if (msg.empty()) {
+    msg = compare_response_double(signoff_reply.body, "wirelength_dbu",
+                                  golden.metrics.wirelength_dbu);
+  }
+  if (!msg.empty()) return "signoff: " + msg;
+
+  client.close();
+  server.stop();
+  std::filesystem::remove(snap);
+  return {};
+}
+
 }  // namespace
 
 void DiffHarness::add_oracle(Oracle oracle) { oracles_.push_back(std::move(oracle)); }
@@ -671,6 +823,7 @@ DiffHarness DiffHarness::standard() {
   h.add_oracle({"rsmt-small", oracle_rsmt_small, /*stride=*/1, true});
   h.add_oracle({"lse-penalty", oracle_lse_penalty, /*stride=*/1, true});
   h.add_oracle({"keep-best", oracle_keep_best, /*stride=*/4, false});
+  h.add_oracle({"serve", oracle_serve, /*stride=*/4, true});
   return h;
 }
 

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <thread>
+#include <vector>
+
 #include "flow/experiment.hpp"
 #include "flow/flow.hpp"
 #include "flow/iterative.hpp"
@@ -88,6 +92,44 @@ TEST(Flow, PrerouteStaAvailable) {
   const Flow flow(&d);
   const StaResult pre = flow.run_preroute_sta(flow.initial_forest());
   EXPECT_GT(pre.max_arrival, 0.0);
+}
+
+TEST(Flow, ConcurrentConstructionIsSafeAndIdentical) {
+  // Regression guard for the probe-route calibration cache: several threads
+  // constructing Flows at once (as the serve session manager's tenants do)
+  // must neither race on the process-wide cache nor diverge — same design,
+  // same calibration, bit-identical sign-off, no matter who populated the
+  // cache first. Plain std::thread on purpose: the deterministic pool
+  // serializes jobs, so it cannot exercise this interleaving.
+  Design baseline = make_design(97);
+  const Flow ref(&baseline);
+  const FlowResult want = ref.run_signoff(ref.initial_forest());
+
+  constexpr int kThreads = 4;
+  std::vector<FlowResult> got(kThreads);
+  std::vector<double> clock_period(kThreads, 0.0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Design d = make_design(97);  // same seed: identical design, shared cache key
+      const Flow flow(&d);
+      clock_period[t] = d.clock_period();
+      got[t] = flow.run_signoff(flow.initial_forest());
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(std::memcmp(&got[t].metrics.wns_ns, &want.metrics.wns_ns, sizeof(double)), 0)
+        << "thread " << t;
+    EXPECT_EQ(std::memcmp(&got[t].metrics.wirelength_dbu, &want.metrics.wirelength_dbu,
+                          sizeof(double)),
+              0)
+        << "thread " << t;
+    EXPECT_EQ(got[t].metrics.num_vios, want.metrics.num_vios) << "thread " << t;
+    EXPECT_EQ(std::memcmp(&clock_period[t], &clock_period[0], sizeof(double)), 0)
+        << "thread " << t;
+  }
 }
 
 TEST(Experiment, PrepareDesignProducesConsistentScale) {

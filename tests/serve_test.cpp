@@ -1,0 +1,561 @@
+// tsteiner_serve coverage: frame codec round-trips and strict rejection
+// (truncation, oversize, bit flips), schema-v1 request parsing, the session
+// LRU (byte-budget eviction, warm re-restore, fingerprint-mismatch
+// rejection), and an end-to-end differential test pinning server responses
+// bit-for-bit to the direct Flow / IncrementalSignoff API.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/incremental_signoff.hpp"
+#include "serve/client.hpp"
+#include "serve/framing.hpp"
+#include "serve/ops.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "tsteiner/refine.hpp"
+#include "util/rng.hpp"
+#include "verify/case_gen.hpp"
+
+namespace tsteiner {
+namespace {
+
+using serve::Frame;
+using serve::FrameDecoder;
+using serve::FrameKind;
+
+std::string temp_path(const char* name) { return testutil::test_tmp_dir() + "/" + name; }
+
+bool bits_eq(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+/// Write a serve snapshot for fuzz case `seed` and return its path.
+std::string write_snapshot(std::uint64_t seed, const char* name, bool with_model = false) {
+  const verify::FuzzCase c = verify::make_case(seed, "tiny");
+  Design design = c.design;
+  const Flow flow(&design);
+  BenchmarkSpec spec;
+  spec.name = c.params.name;
+  spec.target_cells = static_cast<int>(c.num_cells());
+  spec.endpoints = static_cast<int>(design.endpoint_pins().size());
+  spec.seed = seed;
+  GnnConfig cfg;
+  cfg.hidden = 6;
+  cfg.type_embed = 4;
+  cfg.delay_hidden = 8;
+  cfg.seed = Rng::mix(seed, 0x90de1);
+  const TimingGnn model(cfg, verify::fuzz_library().num_types());
+  const std::string path = temp_path(name);
+  EXPECT_TRUE(serve::save_session_snapshot(spec, design, flow.calibration(),
+                                           flow.initial_forest(), verify::fuzz_library(),
+                                           with_model ? &model : nullptr, path));
+  return path;
+}
+
+// --- framing ----------------------------------------------------------------
+
+TEST(Framing, RoundTripAllKinds) {
+  for (const FrameKind kind : {FrameKind::kRequest, FrameKind::kResponse,
+                               FrameKind::kProgress, FrameKind::kError}) {
+    const Frame in{kind, "{\"v\":1,\"id\":42}"};
+    const std::vector<std::uint8_t> bytes = serve::encode_frame(in);
+    ASSERT_EQ(bytes.size(), serve::kFrameHeaderBytes + in.payload.size());
+    FrameDecoder dec;
+    std::vector<Frame> out;
+    ASSERT_TRUE(dec.feed(bytes.data(), bytes.size(), &out));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, kind);
+    EXPECT_EQ(out[0].payload, in.payload);
+  }
+}
+
+TEST(Framing, EmptyPayloadAndByteAtATime) {
+  const std::vector<std::uint8_t> a = serve::encode_frame({FrameKind::kRequest, ""});
+  const std::vector<std::uint8_t> b =
+      serve::encode_frame({FrameKind::kResponse, std::string(10000, 'x')});
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  for (const std::uint8_t byte : stream) {
+    ASSERT_TRUE(dec.feed(&byte, 1, &out));
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, "");
+  EXPECT_EQ(out[1].payload.size(), 10000u);
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(Framing, TruncationIsPendingNotError) {
+  const std::vector<std::uint8_t> bytes =
+      serve::encode_frame({FrameKind::kRequest, "{\"v\":1}"});
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  ASSERT_TRUE(dec.feed(bytes.data(), bytes.size() - 3, &out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(dec.poisoned());
+  EXPECT_GT(dec.pending_bytes(), 0u);
+}
+
+TEST(Framing, BadMagicPoisons) {
+  std::vector<std::uint8_t> bytes = serve::encode_frame({FrameKind::kRequest, "{}"});
+  bytes[0] = 'X';
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.feed(bytes.data(), bytes.size(), &out));
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_NE(dec.error().find("magic"), std::string::npos);
+  // Poisoned decoders reject even well-formed frames afterward.
+  const std::vector<std::uint8_t> good = serve::encode_frame({FrameKind::kRequest, "{}"});
+  EXPECT_FALSE(dec.feed(good.data(), good.size(), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Framing, WrongVersionUnknownKindOversizePoison) {
+  {
+    std::vector<std::uint8_t> bytes = serve::encode_frame({FrameKind::kRequest, "{}"});
+    bytes[4] = 99;  // version
+    FrameDecoder dec;
+    std::vector<Frame> out;
+    EXPECT_FALSE(dec.feed(bytes.data(), bytes.size(), &out));
+  }
+  {
+    std::vector<std::uint8_t> bytes = serve::encode_frame({FrameKind::kRequest, "{}"});
+    bytes[8] = 77;  // kind
+    FrameDecoder dec;
+    std::vector<Frame> out;
+    EXPECT_FALSE(dec.feed(bytes.data(), bytes.size(), &out));
+  }
+  {
+    // A length above the configured cap must be rejected from the header
+    // alone, before any allocation.
+    std::vector<std::uint8_t> bytes = serve::encode_frame({FrameKind::kRequest, "{}"});
+    const std::uint64_t huge = 1ull << 40;
+    std::memcpy(&bytes[12], &huge, sizeof(huge));
+    FrameDecoder dec(/*max_payload_bytes=*/1024);
+    std::vector<Frame> out;
+    EXPECT_FALSE(dec.feed(bytes.data(), bytes.size(), &out));
+    EXPECT_NE(dec.error().find("payload"), std::string::npos);
+  }
+}
+
+TEST(Framing, EveryPayloadBitFlipIsCaught) {
+  const Frame in{FrameKind::kResponse, "{\"v\":1,\"id\":7,\"ok\":true}"};
+  const std::vector<std::uint8_t> bytes = serve::encode_frame(in);
+  for (std::size_t i = serve::kFrameHeaderBytes; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = bytes;
+      corrupt[i] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameDecoder dec;
+      std::vector<Frame> out;
+      EXPECT_FALSE(dec.feed(corrupt.data(), corrupt.size(), &out))
+          << "flip at byte " << i << " bit " << bit << " not caught";
+      EXPECT_NE(dec.error().find("CRC"), std::string::npos);
+    }
+  }
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrip) {
+  serve::Request in;
+  in.type = serve::RequestType::kWhatIf;
+  in.id = 99;
+  in.session = "s3";
+  in.fingerprint = "DEADBEEF";
+  in.moves.push_back({5, 1.25, -0.5});
+  in.moves.push_back({7, 0.1, 0.2});  // 0.1/0.2 don't round-trip via decimal
+  std::string error;
+  const auto out = serve::parse_request(serve::encode_request(in), &error);
+  ASSERT_TRUE(out.has_value()) << error;
+  EXPECT_EQ(out->type, serve::RequestType::kWhatIf);
+  EXPECT_EQ(out->id, 99u);
+  EXPECT_EQ(out->session, "s3");
+  EXPECT_EQ(out->fingerprint, "DEADBEEF");
+  ASSERT_EQ(out->moves.size(), 2u);
+  EXPECT_EQ(out->moves[1].net, 7);
+  // The _bits fields carry exact coordinates across the wire.
+  EXPECT_TRUE(bits_eq(out->moves[1].dx, 0.1));
+  EXPECT_TRUE(bits_eq(out->moves[1].dy, 0.2));
+}
+
+TEST(Protocol, StrictParseRejections) {
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("not json", &error).has_value());
+  EXPECT_FALSE(serve::parse_request("{\"id\":1,\"type\":\"ping\"}", &error).has_value())
+      << "missing v must be rejected";
+  EXPECT_FALSE(
+      serve::parse_request("{\"v\":2,\"id\":1,\"type\":\"ping\"}", &error).has_value())
+      << "future schema version must be rejected";
+  EXPECT_FALSE(
+      serve::parse_request("{\"v\":1,\"id\":1,\"type\":\"frobnicate\"}", &error).has_value());
+  EXPECT_FALSE(serve::parse_request("{\"v\":1,\"id\":1,\"type\":\"open\"}", &error)
+                   .has_value())
+      << "open without a snapshot path must be rejected";
+  EXPECT_FALSE(serve::parse_request("{\"v\":1,\"id\":1,\"type\":\"whatif\"}", &error)
+                   .has_value())
+      << "session ops without session/fingerprint must be rejected";
+}
+
+TEST(Protocol, DoubleBitsHexRoundTrip) {
+  for (const double v : {0.0, -0.0, 1.0, -1.5, 0.1, 1e-300, 1e300}) {
+    double back = 123.0;
+    ASSERT_TRUE(serve::double_from_bits_hex(serve::double_bits_hex(v), &back));
+    EXPECT_TRUE(bits_eq(v, back));
+  }
+  double back;
+  EXPECT_FALSE(serve::double_from_bits_hex("XYZ", &back));
+  EXPECT_FALSE(serve::double_from_bits_hex("3FF", &back));
+}
+
+// --- session LRU ------------------------------------------------------------
+
+TEST(SessionManager, EvictionUnderByteBudgetAndWarmRerestore) {
+  const std::string snap_a = write_snapshot(11, "a.tsdb");
+  const std::string snap_b = write_snapshot(12, "b.tsdb");
+
+  serve::SessionManager::Options opts;
+  opts.budget_bytes = 1;  // everything but the MRU entry is over budget
+  serve::SessionManager mgr(opts);
+
+  std::string error;
+  auto sa = mgr.open(snap_a, &error);
+  ASSERT_NE(sa, nullptr) << error;
+  const double wl_a = sa->forest.total_wirelength();
+  EXPECT_EQ(mgr.stats().loads, 1u);
+  EXPECT_EQ(mgr.stats().cached_designs, 1u);  // MRU survives any budget
+
+  auto sb = mgr.open(snap_b, &error);
+  ASSERT_NE(sb, nullptr) << error;
+  EXPECT_EQ(mgr.stats().loads, 2u);
+  EXPECT_GE(mgr.stats().evictions, 1u);
+  EXPECT_EQ(mgr.stats().cached_designs, 1u);
+  // Eviction never invalidates the live session that pins the design.
+  EXPECT_EQ(sa->loaded->path, snap_a);
+
+  // Re-open after eviction: a cold re-restore that must agree exactly with
+  // the first restore.
+  auto sa2 = mgr.open(snap_a, &error);
+  ASSERT_NE(sa2, nullptr) << error;
+  EXPECT_EQ(mgr.stats().loads, 3u);
+  EXPECT_TRUE(bits_eq(sa2->forest.total_wirelength(), wl_a));
+  EXPECT_EQ(sa2->loaded->fingerprint, sa->loaded->fingerprint);
+}
+
+TEST(SessionManager, CacheHitSharesTheLoadedDesign) {
+  const std::string snap = write_snapshot(13, "c.tsdb");
+  serve::SessionManager mgr({});
+  std::string error;
+  auto s1 = mgr.open(snap, &error);
+  ASSERT_NE(s1, nullptr) << error;
+  auto s2 = mgr.open(snap, &error);
+  ASSERT_NE(s2, nullptr) << error;
+  EXPECT_EQ(mgr.stats().loads, 1u);
+  EXPECT_EQ(mgr.stats().cache_hits, 1u);
+  EXPECT_EQ(s1->loaded.get(), s2->loaded.get());  // shared, not re-restored
+  EXPECT_NE(s1->id, s2->id);
+}
+
+TEST(SessionManager, FingerprintMismatchRejection) {
+  const std::string snap = write_snapshot(14, "d.tsdb");
+  serve::SessionManager mgr({});
+  std::string error;
+  auto s = mgr.open(snap, &error);
+  ASSERT_NE(s, nullptr) << error;
+
+  EXPECT_NE(mgr.find(s->id, s->loaded->fingerprint, &error), nullptr);
+  EXPECT_EQ(mgr.find(s->id, "00000000", &error), nullptr);
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+  EXPECT_EQ(mgr.find("s999", s->loaded->fingerprint, &error), nullptr);
+}
+
+TEST(SessionManager, StaleSnapshotFileIsReloaded) {
+  // Rewriting the file under the same path must not serve the cached design.
+  const std::string snap = write_snapshot(15, "e.tsdb");
+  serve::SessionManager mgr({});
+  std::string error;
+  auto s1 = mgr.open(snap, &error);
+  ASSERT_NE(s1, nullptr) << error;
+  const std::string fp1 = s1->loaded->fingerprint;
+
+  const verify::FuzzCase c = verify::make_case(16, "tiny");
+  Design design = c.design;
+  const Flow flow(&design);
+  BenchmarkSpec spec;
+  spec.seed = 16;
+  ASSERT_TRUE(serve::save_session_snapshot(spec, design, flow.calibration(),
+                                           flow.initial_forest(), verify::fuzz_library(),
+                                           nullptr, snap));
+  auto s2 = mgr.open(snap, &error);
+  ASSERT_NE(s2, nullptr) << error;
+  EXPECT_NE(s2->loaded->fingerprint, fp1);
+  EXPECT_EQ(mgr.stats().loads, 2u);
+  // The first session still pins its (now stale) design and still validates
+  // against the fingerprint it was opened with.
+  EXPECT_NE(mgr.find(s1->id, fp1, &error), nullptr);
+}
+
+// --- end-to-end server ------------------------------------------------------
+
+struct RawConn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+
+  explicit RawConn(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  void send(const std::vector<std::uint8_t>& bytes) {
+    ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  /// Read until one more frame arrives or EOF; returns false on EOF.
+  bool read_frame() {
+    const std::size_t had = frames.size();
+    std::uint8_t buf[4096];
+    while (frames.size() == had) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) return false;
+      if (!decoder.feed(buf, static_cast<std::size_t>(n), &frames)) return false;
+    }
+    return true;
+  }
+};
+
+TEST(Server, MalformedRequestGetsErrorFrameConnectionSurvives) {
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  RawConn conn(server.bound_tcp_port());
+  ASSERT_GE(conn.fd, 0);
+  // Well-formed frame, malformed request: clean kError, connection usable.
+  conn.send(serve::encode_frame({FrameKind::kRequest, "{\"garbage\":true}"}));
+  ASSERT_TRUE(conn.read_frame());
+  EXPECT_EQ(conn.frames.back().kind, FrameKind::kError);
+  // The same connection still serves a valid ping.
+  serve::Request ping;
+  ping.type = serve::RequestType::kPing;
+  ping.id = 5;
+  conn.send(serve::encode_frame({FrameKind::kRequest, serve::encode_request(ping)}));
+  ASSERT_TRUE(conn.read_frame());
+  EXPECT_EQ(conn.frames.back().kind, FrameKind::kResponse);
+  server.stop();
+}
+
+TEST(Server, MalformedFrameClosesConnection) {
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  RawConn conn(server.bound_tcp_port());
+  ASSERT_GE(conn.fd, 0);
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  conn.send(garbage);
+  // The server reports the violation once (kError, id 0), then hangs up —
+  // framing is lost, the stream cannot be resynchronized.
+  ASSERT_TRUE(conn.read_frame());
+  EXPECT_EQ(conn.frames.back().kind, FrameKind::kError);
+  EXPECT_NE(conn.frames.back().payload.find("malformed frame"), std::string::npos);
+  EXPECT_FALSE(conn.read_frame());  // EOF
+  server.stop();
+}
+
+TEST(Server, ResponsesBitIdenticalToDirectFlow) {
+  const std::string snap = write_snapshot(21, "diff.tsdb");
+
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto opened = client.open(snap);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  ASSERT_NE(session, nullptr);
+  ASSERT_NE(fingerprint, nullptr);
+
+  // Direct side: same snapshot, same moves, direct API.
+  auto loaded = serve::load_session_design(snap, FlowOptions{}, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  SteinerForest cur = loaded->flow->initial_forest();
+  IncrementalSignoff inc(loaded->design.get(), loaded->flow->options());
+
+  Rng rng(2026);
+  std::vector<int> nets;
+  for (const SteinerTree& tree : cur.trees) {
+    if (tree.num_steiner_nodes() > 0) nets.push_back(tree.net);
+  }
+  ASSERT_FALSE(nets.empty());
+  const double dist = static_cast<double>(loaded->design->die().width()) / 20.0;
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<serve::WhatIfMove> moves;
+    for (int m = 0; m < 2; ++m) {
+      moves.push_back({nets[rng.index(nets.size())], rng.uniform(-dist, dist),
+                       rng.uniform(-dist, dist)});
+    }
+    serve::Request req;
+    req.type = serve::RequestType::kWhatIf;
+    req.session = session->str;
+    req.fingerprint = fingerprint->str;
+    req.moves = moves;
+    const auto reply = client.call(req);
+    ASSERT_TRUE(reply.ok) << reply.error;
+
+    std::vector<int> dirty;
+    serve::apply_whatif_moves(&cur, *loaded->design, moves, &dirty);
+    const IncrementalSignoff::Result& ref = inc.update(cur, dirty);
+
+    double got = 0.0;
+    ASSERT_TRUE(serve::read_double_field(reply.body, "wns_ns", &got));
+    EXPECT_TRUE(bits_eq(got, ref.metrics.wns_ns)) << "round " << round;
+    ASSERT_TRUE(serve::read_double_field(reply.body, "tns_ns", &got));
+    EXPECT_TRUE(bits_eq(got, ref.metrics.tns_ns)) << "round " << round;
+    ASSERT_TRUE(serve::read_double_field(reply.body, "wirelength_dbu", &got));
+    EXPECT_TRUE(bits_eq(got, ref.metrics.wirelength_dbu)) << "round " << round;
+  }
+
+  // Full sign-off request vs the golden full pipeline.
+  serve::Request signoff;
+  signoff.type = serve::RequestType::kSignoff;
+  signoff.session = session->str;
+  signoff.fingerprint = fingerprint->str;
+  const auto reply = client.call(signoff);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  const FlowResult golden = loaded->flow->run_signoff(cur);
+  double got = 0.0;
+  ASSERT_TRUE(serve::read_double_field(reply.body, "wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.wns_ns));
+  ASSERT_TRUE(serve::read_double_field(reply.body, "wirelength_dbu", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.wirelength_dbu));
+
+  client.close_session(session->str);
+  server.stop();
+}
+
+TEST(Server, RefineBitIdenticalToDirectLoopIncludingCommittedCoords) {
+  const std::string snap = write_snapshot(22, "refine.tsdb", /*with_model=*/true);
+
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto opened = client.open(snap);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  ASSERT_NE(session, nullptr);
+  ASSERT_NE(fingerprint, nullptr);
+  const obs::JsonValue* has_model = opened.body.find("has_model");
+  ASSERT_NE(has_model, nullptr);
+  EXPECT_TRUE(has_model->is_bool() && has_model->boolean);
+
+  serve::Request refine;
+  refine.type = serve::RequestType::kRefine;
+  refine.session = session->str;
+  refine.fingerprint = fingerprint->str;
+  refine.iterations = 4;
+  refine.commit = true;
+  const auto reply = client.call(refine);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.progress.size(), static_cast<std::size_t>(reply.body.number_or(
+                                       "iterations", -1.0)))
+      << "one progress frame per refine iteration";
+
+  // Direct side: restore the same snapshot (model included) and run the
+  // same refinement loop through the plain API.
+  auto loaded = serve::load_session_design(snap, FlowOptions{}, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  ASSERT_NE(loaded->model, nullptr);
+  RefineOptions ropts;
+  ropts.gcell_size = loaded->flow->options().router.gcell_size;
+  ropts.max_iterations = 4;
+  const RefineResult want = refine_steiner_points(
+      *loaded->design, loaded->flow->initial_forest(), *loaded->model, ropts);
+
+  double got = 0.0;
+  ASSERT_TRUE(serve::read_double_field(reply.body, "init_wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, want.init_wns));
+  ASSERT_TRUE(serve::read_double_field(reply.body, "best_wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, want.best_wns));
+  ASSERT_TRUE(serve::read_double_field(reply.body, "best_tns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, want.best_tns));
+
+  // The committed working forest must carry the refined coordinates: a
+  // sign-off through the session must match the golden pipeline on the
+  // direct loop's refined forest bit for bit (wirelength is a function of
+  // every coordinate, WNS of every arrival — a single diverging Steiner
+  // point fails this).
+  serve::Request signoff;
+  signoff.type = serve::RequestType::kSignoff;
+  signoff.session = session->str;
+  signoff.fingerprint = fingerprint->str;
+  const auto signoff_reply = client.call(signoff);
+  ASSERT_TRUE(signoff_reply.ok) << signoff_reply.error;
+  const FlowResult golden = loaded->flow->run_signoff(want.forest);
+  ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.wns_ns));
+  ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "tns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.tns_ns));
+  ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "wirelength_dbu", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.wirelength_dbu));
+
+  client.close_session(session->str);
+  server.stop();
+}
+
+TEST(Server, GracefulDrainFinishesQueuedRequests) {
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto reply = client.shutdown_server();  // responds, then drains
+  EXPECT_TRUE(reply.ok) << reply.error;
+  server.stop();
+  EXPECT_TRUE(server.draining());
+  // A fresh server on the same object lifecycle is out of scope; a new
+  // connection attempt must fail once the listener is gone.
+  serve::ServeClient late;
+  EXPECT_FALSE(late.connect_tcp(server.bound_tcp_port(), &error));
+}
+
+}  // namespace
+}  // namespace tsteiner

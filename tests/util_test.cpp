@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "util/geometry.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -77,6 +80,33 @@ TEST(Rng, ForkIndependent) {
   Rng child = a.fork();
   // fork advances the parent; child stream differs from parent's next draws
   EXPECT_NE(a.uniform_int(0, 1u << 30), child.uniform_int(0, 1u << 30));
+}
+
+TEST(Log, ScopedTagInstallsAndRestores) {
+  EXPECT_EQ(log_tag(), "");
+  {
+    ScopedLogTag outer("sess=s1");
+    EXPECT_EQ(log_tag(), "sess=s1");
+    {
+      ScopedLogTag inner("c4");
+      EXPECT_EQ(log_tag(), "c4");
+    }
+    EXPECT_EQ(log_tag(), "sess=s1");
+  }
+  EXPECT_EQ(log_tag(), "");
+}
+
+TEST(Log, TagIsThreadLocal) {
+  ScopedLogTag main_tag("main-tag");
+  std::string seen_in_thread = "unset";
+  std::thread t([&] {
+    seen_in_thread = log_tag();  // fresh thread: no tag inherited
+    set_log_tag("worker");
+    EXPECT_EQ(log_tag(), "worker");
+  });
+  t.join();
+  EXPECT_EQ(seen_in_thread, "");
+  EXPECT_EQ(log_tag(), "main-tag");  // the worker's tag never leaked here
 }
 
 TEST(Stats, MeanAndStddev) {
