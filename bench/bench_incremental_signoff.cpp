@@ -13,9 +13,15 @@
 // probes); 100% is the worst case and bounds the overhead of taking the
 // incremental path when everything moved.
 //
+// A second, tight-capacity "contention" section perturbs one corner tree per
+// round so rip-up-and-reroute runs with provably-untouched windows elsewhere;
+// it reports reused/total maze counts (the main sweep's headroom default
+// never enters RRR, so its reuse column is a vacuous 0/0 by design).
+//
 // Knobs: TSTEINER_INC_CELLS (default 16000), TSTEINER_INC_ROUNDS (rounds per
 // fraction, default 3), TSTEINER_INC_GCELL / TSTEINER_INC_MARGIN /
 // TSTEINER_INC_CAPF (routing geometry and capacity headroom),
+// TSTEINER_INC_CONT_CAPF / TSTEINER_INC_CONT_ROUNDS (contention section),
 // TSTEINER_THREADS (pool width).
 #include <algorithm>
 #include <cmath>
@@ -85,6 +91,7 @@ struct SweepRow {
   std::size_t dirty_nets = 0;   ///< mean declared-dirty nets per round
   std::size_t rerouted = 0;     ///< mean rerouted connections per round
   long long reused_mazes = 0;   ///< mean cache-served maze searches per round
+  long long total_mazes = 0;    ///< mean maze searches per round (reuse denominator)
   double update_s = 0.0;        ///< total incremental wall time
   double full_s = 0.0;          ///< total full-pipeline wall time
   bool identical = true;
@@ -192,6 +199,7 @@ int main() {
       row.dirty_nets += got.num_dirty_nets;
       row.rerouted += got.num_rerouted;
       row.reused_mazes += got.reused_mazes;
+      row.total_mazes += got.total_mazes;
       if (!same) {
         std::printf("MISMATCH at frac %.2f round %d: WNS %.9f vs %.9f\n", frac, r,
                     got.metrics.wns_ns, ref.metrics.wns_ns);
@@ -200,17 +208,69 @@ int main() {
     row.dirty_nets /= static_cast<std::size_t>(rounds);
     row.rerouted /= static_cast<std::size_t>(rounds);
     row.reused_mazes /= rounds;
+    row.total_mazes /= rounds;
     row.net_dirty_frac =
         static_cast<double>(row.dirty_nets) / static_cast<double>(std::max<std::size_t>(1, num_nets));
     all_identical = all_identical && row.identical;
     const double speedup = row.update_s > 1e-12 ? row.full_s / row.update_s : 0.0;
     std::printf(
-        "frac %5.2f: %5zu dirty nets (%.3f of nets), %5zu rerouted, %6lld mazes "
+        "frac %5.2f: %5zu dirty nets (%.3f of nets), %5zu rerouted, %lld/%lld mazes "
         "reused | update %7.1f ms  full %7.1f ms  speedup %6.2fx  %s\n",
         frac, row.dirty_nets, row.net_dirty_frac, row.rerouted, row.reused_mazes,
-        1e3 * row.update_s / rounds, 1e3 * row.full_s / rounds, speedup,
+        row.total_mazes, 1e3 * row.update_s / rounds, 1e3 * row.full_s / rounds, speedup,
         row.identical ? "bit-identical" : "MISMATCH");
     rows.push_back(row);
+  }
+
+  // Contention sweep: the headroom default never enters rip-up-and-reroute,
+  // so the sweep above reports reused_mazes as a vacuous 0/0. This section
+  // re-runs the design with tight capacities (RRR fires every round) and a
+  // *localized* perturbation — one corner tree nudged by one gcell — where
+  // victims across the rest of the die keep provably-untouched windows and
+  // must be served from the maze cache.
+  long long cont_reused = 0;
+  long long cont_total = 0;
+  bool cont_identical = true;
+  const int cont_rounds = std::max(1, env_int("TSTEINER_INC_CONT_ROUNDS", 3));
+  {
+    FlowOptions copts = fopts;
+    copts.router.capacity_factor = env_double("TSTEINER_INC_CONT_CAPF", 1.0);
+    Design cdesign = generate_design(lib(), p);
+    place_design(cdesign);
+    const Flow cflow(&cdesign, copts);
+    SteinerForest cforest = cflow.initial_forest();
+    const std::vector<int> ccand = movable_trees(cforest);
+    IncrementalSignoff cinc(&cdesign, cflow.options());
+    cinc.full(cforest);
+    // The movable tree nearest the lower-left corner, nudged one gcell per
+    // round: the perturbation the refine probe cadence actually produces.
+    int corner_tree = ccand.empty() ? -1 : ccand.front();
+    double best = 1e300;
+    for (const int t : ccand) {
+      for (const SteinerNode& n : cforest.trees[static_cast<std::size_t>(t)].nodes) {
+        if (n.is_steiner() && n.pos.x + n.pos.y < best) {
+          best = n.pos.x + n.pos.y;
+          corner_tree = t;
+        }
+      }
+    }
+    for (int r = 0; corner_tree >= 0 && r < cont_rounds; ++r) {
+      const int net = nudge_tree(cforest, corner_tree, 2.0, 2.0);
+      const IncrementalSignoff::Result& got = cinc.update(cforest, {net});
+      cont_reused += got.reused_mazes;
+      cont_total += got.total_mazes;
+      const FlowResult ref = cflow.run_signoff(cforest);
+      cont_identical = cont_identical && metrics_identical(got.metrics, ref.metrics);
+    }
+    cont_reused /= cont_rounds;
+    cont_total /= cont_rounds;
+    std::printf("contention (capf %.2f, 1 corner tree/round): %lld/%lld mazes reused  %s\n",
+                copts.router.capacity_factor, cont_reused, cont_total,
+                cont_identical ? "bit-identical" : "MISMATCH");
+    if (cont_total > 0 && cont_reused == 0) {
+      std::printf("WARNING: RRR ran but no maze was reused — the cache is broken\n");
+    }
+    all_identical = all_identical && cont_identical;
   }
 
   // The acceptance target: >=10x per sign-off at <=5% dirty fraction.
@@ -238,14 +298,20 @@ int main() {
       std::fprintf(f,
                    "    {\"dirty_frac\": %.2f, \"net_dirty_frac\": %.4f, "
                    "\"dirty_nets\": %zu, \"rerouted\": %zu, \"reused_mazes\": %lld, "
+                   "\"total_mazes\": %lld, "
                    "\"update_ms\": %.3f, \"full_ms\": %.3f, \"speedup\": %.3f, "
                    "\"bit_identical\": %s}%s\n",
                    row.frac, row.net_dirty_frac, row.dirty_nets, row.rerouted,
-                   row.reused_mazes, 1e3 * row.update_s / rounds,
+                   row.reused_mazes, row.total_mazes, 1e3 * row.update_s / rounds,
                    1e3 * row.full_s / rounds, speedup,
                    row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"contention\": {\"capacity_factor\": %.2f, \"rounds\": %d, "
+                 "\"reused_mazes\": %lld, \"total_mazes\": %lld, \"bit_identical\": %s},\n",
+                 env_double("TSTEINER_INC_CONT_CAPF", 1.0), cont_rounds, cont_reused,
+                 cont_total, cont_identical ? "true" : "false");
     std::fprintf(f, "  \"speedup_at_5pct\": %.3f,\n", speedup_at_5pct);
     std::fprintf(f, "  \"bit_identical\": %s\n}\n", all_identical ? "true" : "false");
     std::fclose(f);

@@ -209,8 +209,8 @@ int main() {
     spec.seed = c.seed;
     const std::string path = "bench_serve_tmp/design_" + std::to_string(s) + ".tsdb";
     if (!serve::save_session_snapshot(spec, design, flow.calibration(),
-                                      flow.initial_forest(), verify::fuzz_library(),
-                                      nullptr, path)) {
+                                      flow.initial_forest(), verify::fuzz_library(), nullptr,
+                                      SteinerPredictor::shared_pretrained().get(), path)) {
       std::printf("FAILED to write %s\n", path.c_str());
       return 1;
     }

@@ -46,6 +46,7 @@ inline constexpr std::uint32_t kChunkDesign = fourcc("DSGN");
 inline constexpr std::uint32_t kChunkForest = fourcc("FRST");
 inline constexpr std::uint32_t kChunkFlowCal = fourcc("FCAL");
 inline constexpr std::uint32_t kChunkModel = fourcc("MODL");
+inline constexpr std::uint32_t kChunkSteinerModel = fourcc("SMDL");
 inline constexpr std::uint32_t kChunkSample = fourcc("SMPL");
 inline constexpr std::uint32_t kChunkEnd = fourcc("FEND");
 

@@ -165,8 +165,10 @@ const GlobalRouteResult* probe_route_cached(
 Flow::Flow(Design* design, const FlowOptions& options)
     : design_(design), options_(options) {
   TS_TRACE_SPAN("flow.calibrate");
-  // 1. Initial Steiner trees (FLUTE substitute).
-  initial_forest_ = build_forest(*design_, options_.rsmt);
+  // 1. Initial Steiner trees (FLUTE substitute): one batched predictor
+  //    forward over the whole design by default, per-net exact on request
+  //    (and as the in-batch fallback for small/invariant-failing nets).
+  initial_forest_ = build_initial_forest(*design_, options_.steiner, options_.rsmt);
 
   // 2. Clock calibration from a pre-routing STA so every design starts with
   //    realistic negative slack (the paper's designs all violate timing).

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "droute/detailed_route.hpp"
+#include "gnn/steiner_predictor.hpp"
 #include "netlist/netlist.hpp"
 #include "route/global_router.hpp"
 #include "sta/sta.hpp"
@@ -27,6 +28,7 @@ struct FlowOptions {
   DrouteOptions droute;
   StaOptions sta;
   RsmtOptions rsmt;
+  SteinerBuildOptions steiner;     ///< initial construction: batched by default
   bool edge_shifting = true;       ///< FLUTE + edge shifting [16], [17]
   double clock_tightness = 0.62;   ///< clock = tightness * initial max arrival
 };

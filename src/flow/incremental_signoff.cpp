@@ -89,6 +89,7 @@ const IncrementalSignoff::Result& IncrementalSignoff::update(
   const std::vector<int>& changed = router_.changed_connections();
   result_.num_rerouted = changed.size();
   result_.reused_mazes = router_.last_reused_mazes();
+  result_.total_mazes = router_.last_total_mazes();
   if (router_.last_update_was_hit()) m_hits.add();
 
   const DetailedRouteResult* dr = nullptr;

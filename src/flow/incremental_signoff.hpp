@@ -49,6 +49,7 @@ class IncrementalSignoff {
     std::size_t num_dirty_nets = 0;    ///< deduplicated declared-dirty nets
     std::size_t num_rerouted = 0;      ///< connections whose GR path changed
     long long reused_mazes = 0;        ///< maze searches served from cache
+    long long total_mazes = 0;         ///< maze searches attempted (reuse denominator)
   };
 
   /// `design` must outlive this object. `options` should carry pinned router

@@ -168,4 +168,15 @@ ServeClient::Reply ServeClient::shutdown_server() {
   return call(r);
 }
 
+ServeClient::Reply ServeClient::wirelength(const std::string& session,
+                                           const std::string& fingerprint,
+                                           std::vector<std::vector<PointF>> pin_sets) {
+  Request r;
+  r.type = RequestType::kWirelength;
+  r.session = session;
+  r.fingerprint = fingerprint;
+  r.pin_sets = std::move(pin_sets);
+  return call(r);
+}
+
 }  // namespace tsteiner::serve

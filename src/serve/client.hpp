@@ -45,6 +45,8 @@ class ServeClient {
   Reply close_session(const std::string& session);
   Reply stats();
   Reply shutdown_server();
+  Reply wirelength(const std::string& session, const std::string& fingerprint,
+                   std::vector<std::vector<PointF>> pin_sets);
 
  private:
   bool read_more(std::string* error);  ///< one read() into the decoder

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/flow.hpp"
 #include "netlist/netlist.hpp"
 #include "serve/protocol.hpp"
 #include "steiner/steiner_tree.hpp"
@@ -26,5 +27,12 @@ bool validate_whatif_moves(const SteinerForest& forest, const Design& design,
                            const std::vector<WhatIfMove>& moves, std::string* error);
 void apply_whatif_moves(SteinerForest* forest, const Design& design,
                         const std::vector<WhatIfMove>& moves, std::vector<int>* dirty_nets);
+
+/// The batched-construction options the `wirelength` op runs with, derived
+/// from the session's FlowOptions exactly like Flow's own initial
+/// construction (fallback and thread policy pinned to the flow's rsmt).
+/// Server handler, oracle and tests all call this, so "bit-identical to a
+/// direct estimate_wirelengths call" is comparing the same configuration.
+BatchBuildOptions wirelength_batch_options(const FlowOptions& flow);
 
 }  // namespace tsteiner::serve

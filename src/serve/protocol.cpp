@@ -18,18 +18,19 @@ constexpr TypeName kTypeNames[] = {
     {RequestType::kClose, "close"},     {RequestType::kStats, "stats"},
     {RequestType::kShutdown, "shutdown"}, {RequestType::kSta, "sta"},
     {RequestType::kSignoff, "signoff"}, {RequestType::kWhatIf, "whatif"},
-    {RequestType::kRefine, "refine"},
+    {RequestType::kRefine, "refine"},   {RequestType::kWirelength, "wirelength"},
 };
 
 bool needs_session(RequestType type) {
   return type == RequestType::kClose || type == RequestType::kSta ||
          type == RequestType::kSignoff || type == RequestType::kWhatIf ||
-         type == RequestType::kRefine;
+         type == RequestType::kRefine || type == RequestType::kWirelength;
 }
 
 bool needs_fingerprint(RequestType type) {
   return type == RequestType::kSta || type == RequestType::kSignoff ||
-         type == RequestType::kWhatIf || type == RequestType::kRefine;
+         type == RequestType::kWhatIf || type == RequestType::kRefine ||
+         type == RequestType::kWirelength;
 }
 
 bool fail(std::string* error, const std::string& message) {
@@ -53,7 +54,8 @@ bool read_uint(const obs::JsonValue& object, const char* name, bool required,
   return true;
 }
 
-/// Move coordinate: prefers "<name>_bits" (exact) over the decimal "<name>".
+/// Coordinate field (moves, pins): prefers "<name>_bits" (exact) over the
+/// decimal "<name>".
 bool read_move_coord(const obs::JsonValue& object, const char* name, double* out,
                      std::string* error) {
   const obs::JsonValue* bits = object.find(std::string(name) + "_bits");
@@ -65,7 +67,7 @@ bool read_move_coord(const obs::JsonValue& object, const char* name, double* out
   }
   const obs::JsonValue* v = object.find(name);
   if (v == nullptr || !v->is_number()) {
-    return fail(error, std::string("move is missing numeric field '") + name + "'");
+    return fail(error, std::string("missing numeric field '") + name + "'");
   }
   *out = v->number;
   return true;
@@ -219,6 +221,56 @@ std::optional<Request> parse_request(const std::string& payload, std::string* er
       req.commit = commit->boolean;
     }
   }
+
+  if (req.type == RequestType::kWirelength) {
+    const obs::JsonValue* nets = doc->find_array("nets");
+    if (nets == nullptr) {
+      fail(error, "wirelength requires a 'nets' array");
+      return std::nullopt;
+    }
+    if (nets->array.empty() || nets->array.size() > 100000) {
+      fail(error, "wirelength takes between 1 and 100000 nets");
+      return std::nullopt;
+    }
+    std::size_t total_pins = 0;
+    for (const obs::JsonValue& entry : nets->array) {
+      if (!entry.is_object()) {
+        fail(error, "every net must be an object");
+        return std::nullopt;
+      }
+      const obs::JsonValue* pins = entry.find_array("pins");
+      if (pins == nullptr) {
+        fail(error, "every net needs a 'pins' array");
+        return std::nullopt;
+      }
+      if (pins->array.size() < 2) {
+        fail(error, "every net needs at least 2 pins (driver first)");
+        return std::nullopt;
+      }
+      std::vector<PointF> net;
+      net.reserve(pins->array.size());
+      for (const obs::JsonValue& pin : pins->array) {
+        if (!pin.is_object()) {
+          fail(error, "every pin must be an object");
+          return std::nullopt;
+        }
+        PointF p;
+        if (!read_move_coord(pin, "x", &p.x, error)) return std::nullopt;
+        if (!read_move_coord(pin, "y", &p.y, error)) return std::nullopt;
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+          fail(error, "pin coordinates must be finite");
+          return std::nullopt;
+        }
+        net.push_back(p);
+      }
+      total_pins += net.size();
+      if (total_pins > 1000000) {
+        fail(error, "wirelength requests are capped at 1000000 total pins");
+        return std::nullopt;
+      }
+      req.pin_sets.push_back(std::move(net));
+    }
+  }
   return req;
 }
 
@@ -248,6 +300,27 @@ std::string encode_request(const Request& request) {
     if (request.iterations > 0) b.field_i64("iterations", request.iterations);
     if (request.probe_every > 0) b.field_i64("probe_every", request.probe_every);
     b.field_bool("commit", request.commit);
+  }
+  if (request.type == RequestType::kWirelength) {
+    std::string nets = "[";
+    for (std::size_t i = 0; i < request.pin_sets.size(); ++i) {
+      std::string pins = "[";
+      for (std::size_t j = 0; j < request.pin_sets[i].size(); ++j) {
+        const PointF& p = request.pin_sets[i][j];
+        JsonBuilder pb;
+        pb.field_double("x", p.x);
+        pb.field_double("y", p.y);
+        if (j != 0) pins += ',';
+        pins += pb.take();
+      }
+      pins += ']';
+      JsonBuilder nb;
+      nb.field_raw("pins", pins);
+      if (i != 0) nets += ',';
+      nets += nb.take();
+    }
+    nets += ']';
+    b.field_raw("nets", nets);
   }
   return b.take();
 }

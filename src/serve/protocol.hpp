@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/geometry.hpp"
 
 namespace tsteiner::serve {
 
@@ -39,6 +40,7 @@ enum class RequestType {
   kSignoff,   ///< full GR -> DR -> STA sign-off on the working forest
   kWhatIf,    ///< move Steiner trees, incremental sign-off probe
   kRefine,    ///< run the paper's refinement loop on the working forest
+  kWirelength,  ///< batched-construction wirelength estimates for raw pin sets
 };
 
 const char* request_type_name(RequestType type);
@@ -59,6 +61,10 @@ struct Request {
   int iterations = 0;   ///< refine: max iterations (0 = RefineOptions default)
   int probe_every = 0;  ///< refine: sign-off probe cadence (0 = off)
   bool commit = true;   ///< refine: adopt the refined forest as working state
+  /// wirelength: one pin set per net, driver first, >= 2 pins each. Encoded
+  /// as "nets":[{"pins":[{"x":..,"y":..},...]},...] with the usual _bits
+  /// preference on coordinates.
+  std::vector<std::vector<PointF>> pin_sets;
 };
 
 /// Strict schema-v1 parse. nullopt + `error` on any violation.

@@ -293,6 +293,7 @@ void Server::execute(const Pending& p) {
       case RequestType::kSignoff: handle_signoff(p); break;
       case RequestType::kWhatIf: handle_whatif(p); break;
       case RequestType::kRefine: handle_refine(p); break;
+      case RequestType::kWirelength: handle_wirelength(p); break;
     }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
@@ -452,6 +453,7 @@ void Server::handle_whatif(const Pending& p) {
   b.field_u64("num_dirty_nets", r.num_dirty_nets);
   b.field_u64("num_rerouted", r.num_rerouted);
   b.field_i64("reused_mazes", r.reused_mazes);
+  b.field_i64("total_mazes", r.total_mazes);
   send_frame(p.conn, FrameKind::kResponse, b.take());
 }
 
@@ -526,6 +528,41 @@ void Server::handle_refine(const Pending& p) {
     // sign-off re-establishes it from a full run.
     session->signoff.reset();
   }
+  send_frame(p.conn, FrameKind::kResponse, b.take());
+}
+
+void Server::handle_wirelength(const Pending& p) {
+  std::string error;
+  auto session = sessions_.find(p.request.session, p.request.fingerprint, &error);
+  if (session == nullptr) {
+    send_error(p.conn, p.request.id, error);
+    return;
+  }
+  if (session->loaded->steiner_model == nullptr) {
+    send_error(p.conn, p.request.id,
+               "snapshot '" + session->loaded->path +
+                   "' embeds no steiner predictor; wirelength unavailable");
+    return;
+  }
+  const BatchBuildOptions batch = wirelength_batch_options(session->loaded->flow->options());
+  BatchBuildStats stats;
+  std::vector<std::uint8_t> used_fallback;
+  const std::vector<SteinerTree> trees = build_batched_trees(
+      p.request.pin_sets, *session->loaded->steiner_model, batch, &stats, &used_fallback);
+  std::string nets = "[";
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    JsonBuilder nb;
+    nb.field_double("wl", trees[i].wirelength());
+    nb.field_bool("fallback", used_fallback[i] != 0);
+    if (i != 0) nets += ',';
+    nets += nb.take();
+  }
+  nets += ']';
+  JsonBuilder b = response_builder(p.request.id, RequestType::kWirelength);
+  b.field_u64("num_nets", stats.num_nets);
+  b.field_u64("num_fallback", stats.num_fallback());
+  b.field_u64("num_inserted_points", stats.num_inserted_points);
+  b.field_raw("nets", nets);
   send_frame(p.conn, FrameKind::kResponse, b.take());
 }
 

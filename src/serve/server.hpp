@@ -114,6 +114,7 @@ class Server {
   void handle_signoff(const Pending& p);
   void handle_whatif(const Pending& p);
   void handle_refine(const Pending& p);
+  void handle_wirelength(const Pending& p);
 
   ServeOptions options_;
   SessionManager sessions_;

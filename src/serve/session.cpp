@@ -88,6 +88,9 @@ std::size_t estimate_bytes(const LoadedDesign& d) {
   if (d.model != nullptr) {
     for (const Tensor& p : d.model->parameters()) bytes += p.size() * 8;
   }
+  if (d.steiner_model != nullptr) {
+    for (const Tensor& p : d.steiner_model->parameters()) bytes += p.size() * 8;
+  }
   return bytes;
 }
 
@@ -96,7 +99,7 @@ std::size_t estimate_bytes(const LoadedDesign& d) {
 bool save_session_snapshot(const BenchmarkSpec& spec, const Design& design,
                            const FlowCalibration& cal, const SteinerForest& forest,
                            const CellLibrary& lib, const TimingGnn* model,
-                           const std::string& path) {
+                           const SteinerPredictor* steiner_model, const std::string& path) {
   TS_TRACE_SPAN_CAT("serve.save_session_snapshot", "db");
   db::DbWriter writer;
   if (!writer.open(path)) return false;
@@ -114,6 +117,10 @@ bool save_session_snapshot(const BenchmarkSpec& spec, const Design& design,
       writer.add_chunk(db::kChunkForest, index_prefixed(db::encode_forest(forest)));
   if (ok && model != nullptr) {
     ok = writer.add_chunk(db::kChunkModel, encode_model_payload(*model, kServeKind));
+  }
+  if (ok && steiner_model != nullptr) {
+    ok = writer.add_chunk(db::kChunkSteinerModel,
+                          encode_steiner_predictor_payload(*steiner_model, kServeKind));
   }
   return writer.finish() && ok;
 }
@@ -230,6 +237,19 @@ std::shared_ptr<LoadedDesign> load_session_design(const std::string& path,
       return nullptr;
     }
     loaded->model = std::make_unique<TimingGnn>(std::move(*model));
+  }
+
+  // SMDL is self-describing and optional (older serve snapshots simply lack
+  // it; the wirelength op then reports a clean error). Present but
+  // undecodable is a corruption, rejected like any other chunk.
+  if (const db::ChunkInfo* smdl = reader.find(db::kChunkSteinerModel)) {
+    auto steiner = decode_steiner_predictor_payload_any(
+        reader.payload(*smdl), static_cast<std::size_t>(smdl->size), nullptr);
+    if (!steiner) {
+      fail(error, "snapshot '" + path + "' steiner-model chunk is malformed");
+      return nullptr;
+    }
+    loaded->steiner_model = std::make_unique<SteinerPredictor>(std::move(*steiner));
   }
 
   loaded->approx_bytes = estimate_bytes(*loaded);

@@ -29,6 +29,7 @@
 #include "flow/flow.hpp"
 #include "flow/incremental_signoff.hpp"
 #include "gnn/model.hpp"
+#include "gnn/steiner_predictor.hpp"
 #include "netlist/design_generator.hpp"
 #include "netlist/liberty.hpp"
 #include "steiner/steiner_tree.hpp"
@@ -44,15 +45,19 @@ struct LoadedDesign {
   std::unique_ptr<Design> design;
   std::unique_ptr<Flow> flow;
   std::unique_ptr<TimingGnn> model;  ///< null when the snapshot has no MODL
+  /// null when the snapshot has no SMDL; needed by the `wirelength` op.
+  std::unique_ptr<SteinerPredictor> steiner_model;
   std::size_t approx_bytes = 0;      ///< cache accounting (heuristic)
 };
 
 /// Write a self-contained serve snapshot: library embedded, design + flow
-/// calibration + initial forest, and optionally the refinement model.
+/// calibration + initial forest, optionally the refinement model, and
+/// optionally the batched-construction Steiner predictor (SMDL chunk — what
+/// the `wirelength` op serves from).
 bool save_session_snapshot(const BenchmarkSpec& spec, const Design& design,
                            const FlowCalibration& cal, const SteinerForest& forest,
                            const CellLibrary& lib, const TimingGnn* model,
-                           const std::string& path);
+                           const SteinerPredictor* steiner_model, const std::string& path);
 
 /// CRC32 of the raw file bytes as 8 uppercase hex digits; empty on I/O error.
 std::string snapshot_fingerprint(const std::string& path, std::string* error = nullptr);

@@ -60,68 +60,11 @@ double prim_length_with(const std::vector<PointF>& pts, const PointF& cand) {
 
 double mst_length(const std::vector<PointF>& points) { return prim(points).first; }
 
-SteinerTree build_rsmt(const Design& design, int net_id, const RsmtOptions& options) {
-  const Net& net = design.net(net_id);
-  if (net.sink_pins.empty()) throw std::runtime_error("cannot build tree for sinkless net");
+std::vector<SteinerEdge> mst_edges(const std::vector<PointF>& points) {
+  return prim(points).second;
+}
 
-  SteinerTree tree;
-  tree.net = net_id;
-
-  // Pin nodes: driver first, then sinks (duplicates by position are fine;
-  // they contribute zero-length MST edges).
-  std::vector<PointF> pts;
-  pts.push_back(to_f(design.pin_position(net.driver_pin)));
-  tree.nodes.push_back({pts.back(), net.driver_pin});
-  for (int s : net.sink_pins) {
-    pts.push_back(to_f(design.pin_position(s)));
-    tree.nodes.push_back({pts.back(), s});
-  }
-  tree.driver_node = 0;
-  const std::size_t num_pins = pts.size();
-
-  // Iterated 1-Steiner.
-  int added = 0;
-  while (added < options.max_steiner_per_net) {
-    const auto [cur_len, cur_edges] = prim(pts);
-    // Candidate Hanan points.
-    std::vector<PointF> cands;
-    if (static_cast<int>(num_pins) <= options.exact_pin_limit &&
-        pts.size() <= 2 * num_pins) {
-      for (std::size_t i = 0; i < pts.size(); ++i) {
-        for (std::size_t j = 0; j < pts.size(); ++j) {
-          if (i == j) continue;
-          if (pts[i].x == pts[j].x || pts[i].y == pts[j].y) continue;
-          cands.push_back({pts[i].x, pts[j].y});
-        }
-      }
-    } else {
-      for (const SteinerEdge& e : cur_edges) {
-        const PointF& a = pts[static_cast<std::size_t>(e.a)];
-        const PointF& b = pts[static_cast<std::size_t>(e.b)];
-        if (a.x == b.x || a.y == b.y) continue;
-        cands.push_back({a.x, b.y});
-        cands.push_back({b.x, a.y});
-      }
-    }
-    double best_gain = 1e-9;
-    PointF best_cand;
-    bool found = false;
-    for (const PointF& c : cands) {
-      const double gain = cur_len - prim_length_with(pts, c);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_cand = c;
-        found = true;
-      }
-    }
-    if (!found) break;
-    pts.push_back(best_cand);
-    tree.nodes.push_back({best_cand, -1});
-    ++added;
-  }
-
-  tree.edges = prim(pts).second;
-
+void prune_low_degree_steiner(SteinerTree& tree) {
   // Prune Steiner nodes that ended with degree <= 2: degree-2 nodes are
   // spliced (neighbors connected directly), lower degrees removed. Iterate
   // to a fixed point, then compact node indices.
@@ -169,7 +112,89 @@ SteinerTree build_rsmt(const Design& design, int net_id, const RsmtOptions& opti
     e.b = remap[static_cast<std::size_t>(e.b)];
   }
   tree.nodes = std::move(compact);
-  tree.driver_node = remap[0];
+  tree.driver_node = remap[static_cast<std::size_t>(tree.driver_node)];
+}
+
+SteinerTree build_rsmt_points(const std::vector<PointF>& pts_in, const RsmtOptions& options) {
+  if (pts_in.size() < 2) throw std::runtime_error("build_rsmt_points needs >= 2 points");
+
+  SteinerTree tree;
+  std::vector<PointF> pts = pts_in;
+  tree.nodes.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.nodes.push_back({pts[i], static_cast<int>(i)});
+  }
+  tree.driver_node = 0;
+  const std::size_t num_pins = pts.size();
+
+  // Iterated 1-Steiner.
+  int added = 0;
+  while (added < options.max_steiner_per_net) {
+    const auto [cur_len, cur_edges] = prim(pts);
+    // Candidate Hanan points.
+    std::vector<PointF> cands;
+    if (static_cast<int>(num_pins) <= options.exact_pin_limit &&
+        pts.size() <= 2 * num_pins) {
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        for (std::size_t j = 0; j < pts.size(); ++j) {
+          if (i == j) continue;
+          if (pts[i].x == pts[j].x || pts[i].y == pts[j].y) continue;
+          cands.push_back({pts[i].x, pts[j].y});
+        }
+      }
+    } else {
+      for (const SteinerEdge& e : cur_edges) {
+        const PointF& a = pts[static_cast<std::size_t>(e.a)];
+        const PointF& b = pts[static_cast<std::size_t>(e.b)];
+        if (a.x == b.x || a.y == b.y) continue;
+        cands.push_back({a.x, b.y});
+        cands.push_back({b.x, a.y});
+      }
+    }
+    double best_gain = 1e-9;
+    PointF best_cand;
+    bool found = false;
+    for (const PointF& c : cands) {
+      const double gain = cur_len - prim_length_with(pts, c);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_cand = c;
+        found = true;
+      }
+    }
+    if (!found) break;
+    pts.push_back(best_cand);
+    tree.nodes.push_back({best_cand, -1});
+    ++added;
+  }
+
+  tree.edges = prim(pts).second;
+  prune_low_degree_steiner(tree);
+  return tree;
+}
+
+SteinerTree build_rsmt(const Design& design, int net_id, const RsmtOptions& options) {
+  const Net& net = design.net(net_id);
+  if (net.sink_pins.empty()) throw std::runtime_error("cannot build tree for sinkless net");
+
+  // Pin positions: driver first, then sinks (duplicates by position are fine;
+  // they contribute zero-length MST edges).
+  std::vector<PointF> pts;
+  std::vector<int> pin_ids;
+  pts.push_back(to_f(design.pin_position(net.driver_pin)));
+  pin_ids.push_back(net.driver_pin);
+  for (int s : net.sink_pins) {
+    pts.push_back(to_f(design.pin_position(s)));
+    pin_ids.push_back(s);
+  }
+
+  SteinerTree tree = build_rsmt_points(pts, options);
+  tree.net = net_id;
+  // The point-set core stamps pin-node `pin` fields with indices into `pts`;
+  // translate to design pin ids.
+  for (SteinerNode& n : tree.nodes) {
+    if (!n.is_steiner()) n.pin = pin_ids[static_cast<std::size_t>(n.pin)];
+  }
   return tree;
 }
 

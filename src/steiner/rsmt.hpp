@@ -9,6 +9,12 @@
 // keeps construction near-linear in practice. Both provide the same
 // interface FLUTE would: a wirelength-minimal tree whose junctions become
 // movable Steiner points.
+//
+// Two layers: the point-set core (build_rsmt_points) operates on raw pin
+// clouds with no netlist attached — the batched builder's exact fallback and
+// the serve wirelength estimator run on it directly — and the Design-level
+// wrappers (build_rsmt / build_forest) gather pin positions and stamp design
+// pin ids onto the resulting nodes.
 #pragma once
 
 #include "netlist/netlist.hpp"
@@ -29,6 +35,12 @@ struct RsmtOptions {
   int threads = 0;
 };
 
+/// Point-set core of build_rsmt: `pts[0]` is the driver, the rest are sinks
+/// (>= 1 required). Pin nodes carry their index into `pts` in the `pin`
+/// field (the Design wrapper remaps them to design pin ids); Steiner nodes
+/// have pin = -1 and degree >= 3. `net` is left at -1.
+SteinerTree build_rsmt_points(const std::vector<PointF>& pts, const RsmtOptions& options = {});
+
 /// Build a Steiner tree for one net (requires >= 1 sink). The resulting
 /// tree has pin nodes for the driver and every sink, and Steiner nodes for
 /// all junctions; every Steiner node has degree >= 3.
@@ -40,5 +52,17 @@ SteinerForest build_forest(const Design& design, const RsmtOptions& options = {}
 /// Manhattan MST length over a point set (Prim); exposed for testing and
 /// for wirelength comparisons in the benches.
 double mst_length(const std::vector<PointF>& points);
+
+/// Manhattan MST edges over a point set (Prim, deterministic tie-breaks);
+/// the stitch step of the batched builder spans pins + predicted points
+/// with exactly this tree.
+std::vector<SteinerEdge> mst_edges(const std::vector<PointF>& points);
+
+/// Splice out Steiner nodes that ended with degree <= 2 (degree-2 nodes
+/// connect their neighbors directly, lower degrees are removed), iterate to
+/// a fixed point, then compact node indices. Pin nodes are never touched.
+/// Shared by the iterated-1-Steiner construction and the batched stitch, so
+/// both emit trees under the same degree-3 discipline.
+void prune_low_degree_steiner(SteinerTree& tree);
 
 }  // namespace tsteiner

@@ -14,6 +14,8 @@
 #include "flow/incremental_signoff.hpp"
 #include "gnn/graph_cache.hpp"
 #include "gnn/model.hpp"
+#include "gnn/steiner_predictor.hpp"
+#include "steiner/batch_builder.hpp"
 #include "serve/client.hpp"
 #include "serve/ops.hpp"
 #include "serve/server.hpp"
@@ -660,6 +662,99 @@ std::string oracle_keep_best(OracleContext& ctx) {
   return {};
 }
 
+// --- oracle: batched Steiner construction vs lone-net reference -------------
+
+/// Bit-compare two trees built over the same pin set.
+std::string compare_trees_bitwise(const SteinerTree& a, const SteinerTree& b) {
+  if (a.nodes.size() != b.nodes.size()) {
+    return "node count " + std::to_string(a.nodes.size()) + " vs " +
+           std::to_string(b.nodes.size());
+  }
+  if (a.edges.size() != b.edges.size()) {
+    return "edge count " + std::to_string(a.edges.size()) + " vs " +
+           std::to_string(b.edges.size());
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    if (std::memcmp(&a.nodes[i].pos.x, &b.nodes[i].pos.x, sizeof(double)) != 0 ||
+        std::memcmp(&a.nodes[i].pos.y, &b.nodes[i].pos.y, sizeof(double)) != 0 ||
+        a.nodes[i].pin != b.nodes[i].pin) {
+      return "node " + std::to_string(i) + " differs";
+    }
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].a != b.edges[i].a || a.edges[i].b != b.edges[i].b) {
+      return "edge " + std::to_string(i) + " differs";
+    }
+  }
+  return {};
+}
+
+std::string oracle_steiner_batch(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  const auto predictor = SteinerPredictor::shared_pretrained();
+  std::vector<int> net_ids;
+  const std::vector<std::vector<PointF>> pin_sets = routable_pin_sets(c.design, &net_ids);
+  if (pin_sets.empty()) return {};
+
+  BatchBuildOptions batch;
+  batch.mutate_drop_first_candidate = ctx.mutate;
+  BatchBuildStats stats;
+  std::vector<std::uint8_t> used_fallback;
+  const std::vector<SteinerTree> batched =
+      build_batched_trees(pin_sets, *predictor, batch, &stats, &used_fallback);
+  if (batched.size() != pin_sets.size() || used_fallback.size() != pin_sets.size()) {
+    return "batched construction returned wrong tree count";
+  }
+
+  // Batch-composition invariance: each net alone, in a serial batch of one
+  // and without the mutation hook, must reproduce the full-batch tree bit
+  // for bit, including the fallback decision. The mutation self-check rides
+  // on exactly this comparison — dropping a predicted candidate in the full
+  // batch diverges from the clean lone-net stitch.
+  BatchBuildOptions lone_opts = batch;
+  lone_opts.mutate_drop_first_candidate = false;
+  lone_opts.threads = 1;
+  for (std::size_t i = 0; i < pin_sets.size(); ++i) {
+    std::vector<std::uint8_t> lone_fb;
+    const std::vector<SteinerTree> lone =
+        build_batched_trees({pin_sets[i]}, *predictor, lone_opts, nullptr, &lone_fb);
+    if ((lone_fb[0] != 0) != (used_fallback[i] != 0)) {
+      return "net " + std::to_string(net_ids[i]) +
+             ": fallback decision depends on batch composition";
+    }
+    const std::string msg = compare_trees_bitwise(batched[i], lone[0]);
+    if (!msg.empty()) {
+      return "net " + std::to_string(net_ids[i]) + " vs lone-net reference: " + msg;
+    }
+  }
+
+  // Small nets must have taken the exact path, bit for bit, and stay
+  // provably optimal (Hanan enumeration).
+  for (std::size_t i = 0; i < pin_sets.size(); ++i) {
+    if (static_cast<int>(pin_sets[i].size()) > batch.small_net_pin_limit) continue;
+    if (used_fallback[i] == 0) {
+      return "net " + std::to_string(net_ids[i]) + ": small net skipped the exact path";
+    }
+    const SteinerTree exact = build_rsmt_points(pin_sets[i], batch.fallback);
+    std::string msg = compare_trees_bitwise(batched[i], exact);
+    if (!msg.empty()) {
+      return "net " + std::to_string(net_ids[i]) + " vs exact small-net path: " + msg;
+    }
+    if (pin_sets[i].size() <= 4) {
+      msg = check_small_net_optimality(batched[i]);
+      if (!msg.empty()) return "net " + std::to_string(net_ids[i]) + ": " + msg;
+    }
+  }
+
+  // Design-level drop-in: the batched forest must satisfy every structural
+  // invariant build_forest's output does.
+  const SteinerForest forest = build_forest_batched(c.design, *predictor, batch);
+  const std::string msg =
+      check_forest_invariants(c.design, forest, /*require_min_degree=*/true);
+  if (!msg.empty()) return "batched forest: " + msg;
+  return {};
+}
+
 // --- oracle: serve responses vs direct Flow / IncrementalSignoff -----------
 
 /// Bit-compare a dual-encoded response double against the direct result.
@@ -695,7 +790,8 @@ std::string oracle_serve(OracleContext& ctx) {
   spec.seed = c.seed;
   const std::string snap = ctx.work_dir + "/serve_" + std::to_string(c.seed) + ".tsdb";
   if (!serve::save_session_snapshot(spec, design, flow.calibration(), flow.initial_forest(),
-                                    fuzz_library(), nullptr, snap)) {
+                                    fuzz_library(), nullptr,
+                                    SteinerPredictor::shared_pretrained().get(), snap)) {
     return "cannot write serve snapshot " + snap;
   }
 
@@ -714,6 +810,31 @@ std::string oracle_serve(OracleContext& ctx) {
   const obs::JsonValue* session = opened.body.find_string("session");
   const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
   if (session == nullptr || fingerprint == nullptr) return "open response lacks session id";
+
+  // Wirelength round-trip: the serve op must reproduce the in-process
+  // batched estimate bit for bit — which also pins the predictor weights
+  // through the SMDL snapshot codec, since the server runs the decoded copy.
+  {
+    std::vector<std::vector<PointF>> pin_sets = routable_pin_sets(design);
+    if (pin_sets.size() > 24) pin_sets.resize(24);
+    if (!pin_sets.empty()) {
+      const auto wl_reply =
+          client.wirelength(session->str, fingerprint->str, pin_sets);
+      if (!wl_reply.ok) return "wirelength failed: " + wl_reply.error;
+      const BatchBuildOptions batch = serve::wirelength_batch_options(flow.options());
+      const std::vector<double> direct_wl =
+          estimate_wirelengths(pin_sets, *SteinerPredictor::shared_pretrained(), batch);
+      const obs::JsonValue* nets = wl_reply.body.find_array("nets");
+      if (nets == nullptr || nets->array.size() != pin_sets.size()) {
+        return "wirelength response has wrong net count";
+      }
+      for (std::size_t i = 0; i < pin_sets.size(); ++i) {
+        const std::string msg =
+            compare_response_double(nets->array[i], "wl", direct_wl[i]);
+        if (!msg.empty()) return "wirelength net " + std::to_string(i) + ": " + msg;
+      }
+    }
+  }
 
   IncrementalSignoff ref(&design, flow.options());
   SteinerForest cur = flow.initial_forest();
@@ -823,6 +944,7 @@ DiffHarness DiffHarness::standard() {
   h.add_oracle({"rsmt-small", oracle_rsmt_small, /*stride=*/1, true});
   h.add_oracle({"lse-penalty", oracle_lse_penalty, /*stride=*/1, true});
   h.add_oracle({"keep-best", oracle_keep_best, /*stride=*/4, false});
+  h.add_oracle({"steiner-batch", oracle_steiner_batch, /*stride=*/2, true});
   h.add_oracle({"serve", oracle_serve, /*stride=*/4, true});
   return h;
 }

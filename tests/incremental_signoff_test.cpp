@@ -130,6 +130,51 @@ TEST(GlobalRouterState, NoOpUpdateIsAHitAndIdentical) {
       << "a no-op update must reuse every cached maze";
 }
 
+// Maze-reuse regression: under structural congestion (RRR fires every run)
+// a replay whose only change is one nudged tree in a die corner must serve
+// most victim mazes from the cache — their windows are provably untouched.
+// Guards the accounting bug where reused_mazes stayed 0 because the bench
+// geometry never entered RRR at all (total_mazes was 0, making the metric
+// vacuously zero rather than honestly zero).
+TEST(GlobalRouterState, UntouchedWindowsReuseCachedMazes) {
+  Design d = make_design(206, 300);
+  FlowOptions fopts;
+  fopts.router.gcell_size = 2;
+  fopts.router.maze_margin = 2;
+  fopts.router.capacity_factor = 1.0;  // tight caps: overflow + RRR guaranteed
+  const Flow flow(&d, fopts);  // pins calibrated capacities into options()
+  GlobalRouterState state(&d, flow.options().router);
+  state.route_full(flow.initial_forest());
+
+  SteinerForest moved = flow.initial_forest();
+  const std::vector<int> cand = movable_trees(moved);
+  ASSERT_FALSE(cand.empty());
+  // The tree whose Steiner points sit closest to the lower-left die corner:
+  // nudging it perturbs one corner window, leaving the rest of the die's
+  // routing field bit-identical to the cached run.
+  int corner_tree = cand.front();
+  double best = 1e300;
+  for (const int t : cand) {
+    for (const SteinerNode& n : moved.trees[static_cast<std::size_t>(t)].nodes) {
+      if (n.is_steiner() && n.pos.x + n.pos.y < best) {
+        best = n.pos.x + n.pos.y;
+        corner_tree = t;
+      }
+    }
+  }
+  nudge_tree(moved, corner_tree, 2.0, 2.0);
+  std::vector<char> dirty(moved.trees.size(), 0);
+  dirty[static_cast<std::size_t>(corner_tree)] = 1;
+  const GlobalRouteResult& inc = state.update(moved, dirty);
+
+  ASSERT_GT(state.last_total_mazes(), 0) << "no RRR mazes ran; the reuse check is vacuous";
+  EXPECT_GT(state.last_reused_mazes(), 0)
+      << "victims with untouched windows must be served from the maze cache";
+  // Reuse must never cost exactness.
+  const GlobalRouteResult fresh = global_route(d, moved, flow.options().router);
+  expect_gr_identical(inc, fresh);
+}
+
 TEST(DetailedRouteState, UpdateMatchesFullSurrogateBitForBit) {
   Design d = make_design(203);
   const Flow flow(&d);

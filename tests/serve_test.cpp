@@ -40,7 +40,8 @@ std::string temp_path(const char* name) { return testutil::test_tmp_dir() + "/" 
 bool bits_eq(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
 
 /// Write a serve snapshot for fuzz case `seed` and return its path.
-std::string write_snapshot(std::uint64_t seed, const char* name, bool with_model = false) {
+std::string write_snapshot(std::uint64_t seed, const char* name, bool with_model = false,
+                           bool with_steiner = true) {
   const verify::FuzzCase c = verify::make_case(seed, "tiny");
   Design design = c.design;
   const Flow flow(&design);
@@ -56,9 +57,10 @@ std::string write_snapshot(std::uint64_t seed, const char* name, bool with_model
   cfg.seed = Rng::mix(seed, 0x90de1);
   const TimingGnn model(cfg, verify::fuzz_library().num_types());
   const std::string path = temp_path(name);
-  EXPECT_TRUE(serve::save_session_snapshot(spec, design, flow.calibration(),
-                                           flow.initial_forest(), verify::fuzz_library(),
-                                           with_model ? &model : nullptr, path));
+  EXPECT_TRUE(serve::save_session_snapshot(
+      spec, design, flow.calibration(), flow.initial_forest(), verify::fuzz_library(),
+      with_model ? &model : nullptr,
+      with_steiner ? SteinerPredictor::shared_pretrained().get() : nullptr, path));
   return path;
 }
 
@@ -207,6 +209,58 @@ TEST(Protocol, StrictParseRejections) {
       << "session ops without session/fingerprint must be rejected";
 }
 
+TEST(Protocol, WirelengthRoundTripAndStrictness) {
+  // Round trip: pin coordinates survive the wire exactly via _bits.
+  serve::Request in;
+  in.type = serve::RequestType::kWirelength;
+  in.id = 17;
+  in.session = "s1";
+  in.fingerprint = "F00D";
+  in.pin_sets.push_back({{0.1, 0.2}, {3.7, 4.9}});
+  in.pin_sets.push_back({{10.0, 20.0}, {1.0 / 3.0, 2.0 / 7.0}, {5.5, -0.25}});
+  std::string error;
+  const auto out = serve::parse_request(serve::encode_request(in), &error);
+  ASSERT_TRUE(out.has_value()) << error;
+  EXPECT_EQ(out->type, serve::RequestType::kWirelength);
+  ASSERT_EQ(out->pin_sets.size(), 2u);
+  ASSERT_EQ(out->pin_sets[0].size(), 2u);
+  ASSERT_EQ(out->pin_sets[1].size(), 3u);
+  EXPECT_TRUE(bits_eq(out->pin_sets[0][0].x, 0.1));
+  EXPECT_TRUE(bits_eq(out->pin_sets[0][0].y, 0.2));
+  EXPECT_TRUE(bits_eq(out->pin_sets[1][1].x, 1.0 / 3.0));
+  EXPECT_TRUE(bits_eq(out->pin_sets[1][1].y, 2.0 / 7.0));
+
+  // Strict schema: each malformation gets a clean rejection, not a crash.
+  const char* kBad[] = {
+      // no nets array
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\"}",
+      // empty nets array
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\","
+      "\"nets\":[]}",
+      // net entry is not an object
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\","
+      "\"nets\":[42]}",
+      // net without pins
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\","
+      "\"nets\":[{}]}",
+      // fewer than 2 pins
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\","
+      "\"nets\":[{\"pins\":[{\"x\":0,\"y\":0}]}]}",
+      // pin is not an object
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\","
+      "\"nets\":[{\"pins\":[7,8]}]}",
+      // pin missing a coordinate
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"session\":\"s\",\"fingerprint\":\"F\","
+      "\"nets\":[{\"pins\":[{\"x\":0},{\"x\":1,\"y\":1}]}]}",
+      // session ops without session/fingerprint
+      "{\"v\":1,\"id\":1,\"type\":\"wirelength\",\"nets\":[{\"pins\":"
+      "[{\"x\":0,\"y\":0},{\"x\":1,\"y\":1}]}]}",
+  };
+  for (const char* payload : kBad) {
+    EXPECT_FALSE(serve::parse_request(payload, &error).has_value()) << payload;
+  }
+}
+
 TEST(Protocol, DoubleBitsHexRoundTrip) {
   for (const double v : {0.0, -0.0, 1.0, -1.5, 0.1, 1e-300, 1e300}) {
     double back = 123.0;
@@ -295,7 +349,7 @@ TEST(SessionManager, StaleSnapshotFileIsReloaded) {
   spec.seed = 16;
   ASSERT_TRUE(serve::save_session_snapshot(spec, design, flow.calibration(),
                                            flow.initial_forest(), verify::fuzz_library(),
-                                           nullptr, snap));
+                                           nullptr, nullptr, snap));
   auto s2 = mgr.open(snap, &error);
   ASSERT_NE(s2, nullptr) << error;
   EXPECT_NE(s2->loaded->fingerprint, fp1);
@@ -458,6 +512,125 @@ TEST(Server, ResponsesBitIdenticalToDirectFlow) {
   EXPECT_TRUE(bits_eq(got, golden.metrics.wns_ns));
   ASSERT_TRUE(serve::read_double_field(reply.body, "wirelength_dbu", &got));
   EXPECT_TRUE(bits_eq(got, golden.metrics.wirelength_dbu));
+
+  client.close_session(session->str);
+  server.stop();
+}
+
+/// Deterministic mix of small (exact-fallback) and large (predicted) nets
+/// for the wirelength op, driver first in each set.
+std::vector<std::vector<PointF>> wirelength_pin_sets() {
+  Rng rng(77);
+  std::vector<std::vector<PointF>> sets;
+  for (const int k : {2, 3, 4, 6, 9, 12}) {
+    std::vector<PointF> pins;
+    for (int i = 0; i < k; ++i) {
+      pins.push_back({rng.uniform(0.0, 5000.0), rng.uniform(0.0, 5000.0)});
+    }
+    sets.push_back(std::move(pins));
+  }
+  return sets;
+}
+
+TEST(Server, WirelengthBitIdenticalToDirectEstimate) {
+  const std::string snap = write_snapshot(31, "wl.tsdb");
+
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto opened = client.open(snap);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  ASSERT_NE(session, nullptr);
+  ASSERT_NE(fingerprint, nullptr);
+
+  const std::vector<std::vector<PointF>> pin_sets = wirelength_pin_sets();
+  const auto reply = client.wirelength(session->str, fingerprint->str, pin_sets);
+  ASSERT_TRUE(reply.ok) << reply.error;
+
+  // Direct side: same snapshot, same batch options as the server handler.
+  auto loaded = serve::load_session_design(snap, FlowOptions{}, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  ASSERT_NE(loaded->steiner_model, nullptr);
+  const BatchBuildOptions batch =
+      serve::wirelength_batch_options(loaded->flow->options());
+  BatchBuildStats stats;
+  std::vector<std::uint8_t> used_fallback;
+  const std::vector<SteinerTree> trees = build_batched_trees(
+      pin_sets, *loaded->steiner_model, batch, &stats, &used_fallback);
+  const std::vector<double> wls =
+      estimate_wirelengths(pin_sets, *loaded->steiner_model, batch);
+  ASSERT_EQ(trees.size(), pin_sets.size());
+  ASSERT_EQ(wls.size(), pin_sets.size());
+
+  const obs::JsonValue* nets = reply.body.find_array("nets");
+  ASSERT_NE(nets, nullptr);
+  ASSERT_EQ(nets->array.size(), pin_sets.size());
+  for (std::size_t i = 0; i < pin_sets.size(); ++i) {
+    const obs::JsonValue& entry = nets->array[i];
+    double wl = 0.0;
+    ASSERT_TRUE(serve::read_double_field(entry, "wl", &wl)) << "net " << i;
+    EXPECT_TRUE(bits_eq(wl, trees[i].wirelength())) << "net " << i;
+    EXPECT_TRUE(bits_eq(wl, wls[i])) << "net " << i;
+    const obs::JsonValue* fb = entry.find("fallback");
+    ASSERT_NE(fb, nullptr);
+    ASSERT_TRUE(fb->is_bool());
+    EXPECT_EQ(fb->boolean, used_fallback[i] != 0) << "net " << i;
+  }
+  // The ≤4-pin nets must have taken the exact path.
+  for (std::size_t i = 0; i < pin_sets.size(); ++i) {
+    if (pin_sets[i].size() <= 4) {
+      EXPECT_TRUE(nets->array[i].find("fallback")->boolean) << "net " << i;
+    }
+  }
+  double got = 0.0;
+  ASSERT_TRUE(serve::read_double_field(reply.body, "num_nets", &got));
+  EXPECT_EQ(static_cast<std::size_t>(got), pin_sets.size());
+  ASSERT_TRUE(serve::read_double_field(reply.body, "num_fallback", &got));
+  EXPECT_EQ(static_cast<std::size_t>(got), stats.num_fallback());
+
+  client.close_session(session->str);
+  server.stop();
+}
+
+TEST(Server, WirelengthWithoutPredictorIsCleanError) {
+  const std::string snap =
+      write_snapshot(32, "nosteiner.tsdb", /*with_model=*/false, /*with_steiner=*/false);
+
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto opened = client.open(snap);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  ASSERT_NE(session, nullptr);
+  ASSERT_NE(fingerprint, nullptr);
+
+  const auto reply =
+      client.wirelength(session->str, fingerprint->str, wirelength_pin_sets());
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("embeds no steiner predictor"), std::string::npos)
+      << reply.error;
+
+  // The error is per-request: the same connection and session stay usable.
+  EXPECT_TRUE(client.ping().ok);
+  serve::Request signoff;
+  signoff.type = serve::RequestType::kSignoff;
+  signoff.session = session->str;
+  signoff.fingerprint = fingerprint->str;
+  EXPECT_TRUE(client.call(signoff).ok);
 
   client.close_session(session->str);
   server.stop();

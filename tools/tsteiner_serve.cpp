@@ -85,7 +85,8 @@ bool write_snapshot(std::uint64_t seed, const std::string& scale, bool with_mode
   const TimingGnn model = snapshot_model(seed);
   return serve::save_session_snapshot(spec, design, flow.calibration(),
                                       flow.initial_forest(), verify::fuzz_library(),
-                                      with_model ? &model : nullptr, out);
+                                      with_model ? &model : nullptr,
+                                      SteinerPredictor::shared_pretrained().get(), out);
 }
 
 int cmd_mksnap(int argc, char** argv) {
