@@ -7,6 +7,27 @@
 
 namespace tsteiner {
 
+void TapeProgram::reset() {
+  tape_ = Tape();
+  root_ = Value{};
+  finalized_ = false;
+  mutable_leaf_.clear();
+  leaf_group_.clear();
+  pending_dirty_ = 0;
+  needs_grad_.clear();
+  forward_schedule_.clear();
+  forward_mask_.clear();
+  backward_schedule_.clear();
+  src_sched_.clear();
+  redirect_.clear();
+  bwd_input_offset_.clear();
+  bwd_inputs_.clear();
+  bwd_fresh_ok_.clear();
+  fresh_.clear();
+  grad_stamp_.clear();
+  epoch_ = 0;
+}
+
 void TapeProgram::finalize(Value root, const std::vector<Value>& mutable_leaves,
                            const std::vector<Value>& grad_targets) {
   if (finalized_) throw std::runtime_error("TapeProgram: already finalized");

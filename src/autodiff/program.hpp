@@ -98,6 +98,12 @@ class TapeProgram {
   };
   const ReplayCounters& replay_counters() const { return replay_counters_; }
 
+  /// Discard the recorded graph and schedules and return to a blank,
+  /// recordable state — the tape-rebuild entry point for topology edits,
+  /// which change the graph's *shape* and therefore cannot be replayed.
+  /// Cumulative replay counters survive (they feed obs deltas).
+  void reset();
+
  private:
   void check_mutable(Value leaf) const;
   void mark_dirty(Value leaf, bool changed);

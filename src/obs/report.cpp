@@ -54,6 +54,20 @@ void append_iteration_json(std::string& out, const std::string& design,
     out += ",\"signoff_incremental\":";
     out += r.signoff_incremental ? "true" : "false";
   }
+  if (r.topology_round) {
+    const auto int_field = [&out](const char* key, int v) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      char ibuf[24];
+      std::snprintf(ibuf, sizeof(ibuf), "%d", v);
+      out += ibuf;
+    };
+    out += ",\"topology\":true";
+    int_field("search_nets", r.search_nets);
+    int_field("search_edits_applied", r.search_edits_applied);
+    int_field("search_edits_rejected", r.search_edits_rejected);
+  }
   out += "}";
 }
 

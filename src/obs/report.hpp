@@ -48,6 +48,14 @@ struct RefineIterationRecord {
   double signoff_wns = 0.0, signoff_tns = 0.0;  ///< sign-off, not model eval
   double signoff_dirty_frac = 0.0;  ///< dirty nets / total nets fed to the probe
   bool signoff_incremental = false;  ///< probe served by the incremental path
+  /// Topology-search rounds (RefineOptions::topology): the record describes
+  /// one discrete-search round instead of a gradient iteration. The
+  /// search_* fields are emitted in the JSONL line only when set, keeping
+  /// gradient-only streams byte-identical to pre-search builds.
+  bool topology_round = false;
+  int search_nets = 0;            ///< nets the MCTS searched this round
+  int search_edits_applied = 0;   ///< edits accepted into the working forest
+  int search_edits_rejected = 0;  ///< invariant-gate + episodic rejections
 };
 
 /// Summary of one refine_steiner_points call for the run report.

@@ -1,0 +1,315 @@
+#include "search/topo_edits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "steiner/rsmt.hpp"
+
+namespace tsteiner::search {
+
+namespace {
+
+std::vector<int> node_degrees(const SteinerTree& tree) {
+  std::vector<int> degree(tree.nodes.size(), 0);
+  for (const SteinerEdge& e : tree.edges) {
+    ++degree[static_cast<std::size_t>(e.a)];
+    ++degree[static_cast<std::size_t>(e.b)];
+  }
+  return degree;
+}
+
+std::vector<int> neighbors_of(const SteinerTree& tree, int node) {
+  std::vector<int> out;
+  for (const SteinerEdge& e : tree.edges) {
+    if (e.a == node) out.push_back(e.b);
+    if (e.b == node) out.push_back(e.a);
+  }
+  return out;
+}
+
+/// Reachability from `start` with edge index `skip` cut.
+std::vector<char> component_of(const SteinerTree& tree, int start, int skip) {
+  std::vector<std::vector<int>> adj(tree.nodes.size());
+  for (std::size_t i = 0; i < tree.edges.size(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    adj[static_cast<std::size_t>(tree.edges[i].a)].push_back(tree.edges[i].b);
+    adj[static_cast<std::size_t>(tree.edges[i].b)].push_back(tree.edges[i].a);
+  }
+  std::vector<char> seen(tree.nodes.size(), 0);
+  std::vector<int> stack{start};
+  seen[static_cast<std::size_t>(start)] = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (seen[static_cast<std::size_t>(w)]) continue;
+      seen[static_cast<std::size_t>(w)] = 1;
+      stack.push_back(w);
+    }
+  }
+  return seen;
+}
+
+int find_edge(const SteinerTree& tree, int a, int b) {
+  for (std::size_t i = 0; i < tree.edges.size(); ++i) {
+    const SteinerEdge& e = tree.edges[i];
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+bool integral(const PointF& p) {
+  return p.x == std::floor(p.x) && p.y == std::floor(p.y);
+}
+
+std::optional<SteinerTree> reject(std::string why, std::string* reason) {
+  if (reason != nullptr) *reason = std::move(why);
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* edit_kind_name(EditKind kind) {
+  switch (kind) {
+    case EditKind::kInsert: return "insert";
+    case EditKind::kDelete: return "delete";
+    case EditKind::kReshift: return "reshift";
+    case EditKind::kSwap: return "swap";
+  }
+  return "?";
+}
+
+std::string validate_edited_tree(const SteinerTree& reference, const SteinerTree& edited,
+                                 const RectI& die) {
+  if (edited.net != reference.net) return "net id changed";
+  if (!edited.is_valid_tree()) return "not a connected spanning tree rooted at a driver pin";
+  // Pin preservation: the edit may renumber nodes but never add, drop, or
+  // re-home a pin. Compare the sorted pin-id multisets and the driver pin.
+  std::vector<int> ref_pins, ed_pins;
+  for (const SteinerNode& n : reference.nodes) {
+    if (!n.is_steiner()) ref_pins.push_back(n.pin);
+  }
+  for (const SteinerNode& n : edited.nodes) {
+    if (!n.is_steiner()) ed_pins.push_back(n.pin);
+  }
+  std::sort(ref_pins.begin(), ref_pins.end());
+  std::sort(ed_pins.begin(), ed_pins.end());
+  if (ref_pins != ed_pins) return "pin set changed";
+  const int ref_driver = reference.nodes[static_cast<std::size_t>(reference.driver_node)].pin;
+  if (edited.nodes[static_cast<std::size_t>(edited.driver_node)].pin != ref_driver) {
+    return "driver pin changed";
+  }
+  // Pin positions are placement facts the edit must not touch.
+  for (const SteinerNode& n : edited.nodes) {
+    if (n.is_steiner()) continue;
+    bool found = false;
+    for (const SteinerNode& r : reference.nodes) {
+      if (r.pin == n.pin && r.pos.x == n.pos.x && r.pos.y == n.pos.y) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return "pin position changed";
+  }
+  const std::vector<int> degree = node_degrees(edited);
+  for (std::size_t i = 0; i < edited.nodes.size(); ++i) {
+    const SteinerNode& n = edited.nodes[i];
+    if (n.is_steiner() && degree[i] < 3) return "steiner node with degree < 3";
+    if (!integral(n.pos)) return "non-integral coordinate";
+    const PointI p{static_cast<std::int64_t>(std::llround(n.pos.x)),
+                   static_cast<std::int64_t>(std::llround(n.pos.y))};
+    if (!die.contains(p)) return "node outside the die";
+  }
+  return {};
+}
+
+bool shape_preserving(const TopologyEdit& edit) { return edit.kind == EditKind::kReshift; }
+
+std::optional<SteinerTree> apply_edit(const SteinerTree& tree, const RectI& die,
+                                      const TopologyEdit& edit, const EditOptions& options,
+                                      std::string* reason) {
+  const int n = static_cast<int>(tree.nodes.size());
+  if (edit.a < 0 || edit.a >= n) return reject("operand a out of range", reason);
+
+  SteinerTree edited = tree;
+  switch (edit.kind) {
+    case EditKind::kReshift: {
+      if (!tree.nodes[static_cast<std::size_t>(edit.a)].is_steiner()) {
+        return reject("reshift target is a pin", reason);
+      }
+      edited.nodes[static_cast<std::size_t>(edit.a)].pos = edit.pos;
+      break;
+    }
+    case EditKind::kInsert: {
+      if (edit.b < 0 || edit.b >= n || edit.c < 0 || edit.c >= n || edit.b == edit.c) {
+        return reject("insert neighbors out of range", reason);
+      }
+      const int eab = find_edge(tree, edit.a, edit.b);
+      const int eac = find_edge(tree, edit.a, edit.c);
+      if (eab < 0 || eac < 0) return reject("insert operands are not a star", reason);
+      // Drop the two star edges (higher index first), join through the new node.
+      edited.edges.erase(edited.edges.begin() + std::max(eab, eac));
+      edited.edges.erase(edited.edges.begin() + std::min(eab, eac));
+      const int s = static_cast<int>(edited.nodes.size());
+      edited.nodes.push_back({edit.pos, -1});
+      edited.edges.push_back({edit.a, s});
+      edited.edges.push_back({edit.b, s});
+      edited.edges.push_back({edit.c, s});
+      break;
+    }
+    case EditKind::kDelete: {
+      if (!tree.nodes[static_cast<std::size_t>(edit.a)].is_steiner()) {
+        return reject("delete target is a pin", reason);
+      }
+      const std::vector<int> nbrs = neighbors_of(tree, edit.a);
+      if (nbrs.size() < 2) return reject("delete target has fewer than two neighbors", reason);
+      std::vector<PointF> pts;
+      pts.reserve(nbrs.size());
+      for (int v : nbrs) pts.push_back(tree.nodes[static_cast<std::size_t>(v)].pos);
+      const std::vector<SteinerEdge> joins = mst_edges(pts);
+      // Rebuild without node a; remap indices above it down by one.
+      edited.nodes.erase(edited.nodes.begin() + edit.a);
+      const auto remap = [&](int v) { return v > edit.a ? v - 1 : v; };
+      std::vector<SteinerEdge> kept;
+      kept.reserve(tree.edges.size());
+      for (const SteinerEdge& e : tree.edges) {
+        if (e.a == edit.a || e.b == edit.a) continue;
+        kept.push_back({remap(e.a), remap(e.b)});
+      }
+      for (const SteinerEdge& j : joins) {
+        kept.push_back({remap(nbrs[static_cast<std::size_t>(j.a)]),
+                        remap(nbrs[static_cast<std::size_t>(j.b)])});
+      }
+      edited.edges = std::move(kept);
+      edited.driver_node = remap(edited.driver_node);
+      break;
+    }
+    case EditKind::kSwap: {
+      if (edit.b < 0 || edit.b >= n || edit.c < 0 || edit.c >= n) {
+        return reject("swap operands out of range", reason);
+      }
+      if (edit.c == edit.a) return reject("swap re-attaches the cut edge", reason);
+      if (edit.c == edit.b && !options.skip_validation) {
+        return reject("swap self-attachment", reason);
+      }
+      const int cut = find_edge(tree, edit.a, edit.b);
+      if (cut < 0) return reject("swap edge does not exist", reason);
+      if (!options.skip_validation) {
+        const std::vector<char> b_side = component_of(tree, edit.b, cut);
+        if (b_side[static_cast<std::size_t>(edit.c)]) {
+          return reject("swap attaches inside the detached component", reason);
+        }
+      }
+      edited.edges[static_cast<std::size_t>(cut)] = {edit.c, edit.b};
+      break;
+    }
+  }
+
+  if (options.skip_validation) return edited;  // mutation hook: raw, ungated result
+  if (edit.kind != EditKind::kReshift) prune_low_degree_steiner(edited);
+  std::string why = validate_edited_tree(tree, edited, die);
+  if (!why.empty()) return reject(std::move(why), reason);
+  return edited;
+}
+
+std::vector<TopologyEdit> enumerate_edits(const SteinerTree& tree, const RectI& die, Rng& rng,
+                                          const EditOptions& options) {
+  std::vector<TopologyEdit> out;
+  const int n = static_cast<int>(tree.nodes.size());
+  if (n < 3 || tree.edges.empty() || options.max_candidates <= 0) return out;
+
+  const std::vector<int> degree = node_degrees(tree);
+  std::vector<int> hubs;       // >= 2 neighbors: insert candidates
+  std::vector<int> steiners;   // delete / reshift candidates
+  for (int i = 0; i < n; ++i) {
+    if (degree[static_cast<std::size_t>(i)] >= 2) hubs.push_back(i);
+    if (tree.nodes[static_cast<std::size_t>(i)].is_steiner()) steiners.push_back(i);
+  }
+
+  const auto push_unique = [&](const TopologyEdit& e) {
+    for (const TopologyEdit& have : out) {
+      if (have.kind == e.kind && have.a == e.a && have.b == e.b && have.c == e.c &&
+          have.pos.x == e.pos.x && have.pos.y == e.pos.y) {
+        return;
+      }
+    }
+    out.push_back(e);
+  };
+
+  // Oversample: duplicates and unavailable kinds consume draws.
+  const int draws = options.max_candidates * 4;
+  for (int k = 0; k < draws && static_cast<int>(out.size()) < options.max_candidates; ++k) {
+    const int kind = rng.uniform_int(0, 3);
+    if (kind == 0 && !hubs.empty()) {  // insert
+      const int a = hubs[rng.index(hubs.size())];
+      const std::vector<int> nbrs = neighbors_of(tree, a);
+      const std::size_t i = rng.index(nbrs.size());
+      std::size_t j = rng.index(nbrs.size() - 1);
+      if (j >= i) ++j;
+      TopologyEdit e;
+      e.kind = EditKind::kInsert;
+      e.a = a;
+      e.b = nbrs[i];
+      e.c = nbrs[j];
+      const PointF pa = tree.nodes[static_cast<std::size_t>(e.a)].pos;
+      const PointF pb = tree.nodes[static_cast<std::size_t>(e.b)].pos;
+      const PointF pc = tree.nodes[static_cast<std::size_t>(e.c)].pos;
+      e.pos = clamp_into({median3(pa.x, pb.x, pc.x), median3(pa.y, pb.y, pc.y)}, die);
+      push_unique(e);
+    } else if (kind == 1 && !steiners.empty()) {  // delete
+      TopologyEdit e;
+      e.kind = EditKind::kDelete;
+      e.a = steiners[rng.index(steiners.size())];
+      push_unique(e);
+    } else if (kind == 2 && !steiners.empty()) {  // reshift to a neighbor Hanan point
+      const int a = steiners[rng.index(steiners.size())];
+      const std::vector<int> nbrs = neighbors_of(tree, a);
+      if (nbrs.size() < 2) continue;
+      const std::size_t i = rng.index(nbrs.size());
+      std::size_t j = rng.index(nbrs.size() - 1);
+      if (j >= i) ++j;
+      const PointF cur = tree.nodes[static_cast<std::size_t>(a)].pos;
+      PointF pos = clamp_into({tree.nodes[static_cast<std::size_t>(nbrs[i])].pos.x,
+                               tree.nodes[static_cast<std::size_t>(nbrs[j])].pos.y},
+                              die);
+      if (pos.x == cur.x && pos.y == cur.y) {
+        pos = clamp_into({tree.nodes[static_cast<std::size_t>(nbrs[j])].pos.x,
+                          tree.nodes[static_cast<std::size_t>(nbrs[i])].pos.y},
+                         die);
+      }
+      if (pos.x == cur.x && pos.y == cur.y) continue;
+      TopologyEdit e;
+      e.kind = EditKind::kReshift;
+      e.a = a;
+      e.pos = pos;
+      push_unique(e);
+    } else if (kind == 3) {  // swap: re-attach the far side of an edge nearby
+      const std::size_t ei = rng.index(tree.edges.size());
+      TopologyEdit e;
+      e.kind = EditKind::kSwap;
+      e.a = tree.edges[ei].a;
+      e.b = tree.edges[ei].b;
+      if (rng.bernoulli(0.5)) std::swap(e.a, e.b);
+      const std::vector<char> b_side = component_of(tree, e.b, static_cast<int>(ei));
+      // Nearest few a-side nodes to b, deterministic order; one drawn at random.
+      const PointF pb = tree.nodes[static_cast<std::size_t>(e.b)].pos;
+      std::vector<std::pair<double, int>> near;
+      for (int v = 0; v < n; ++v) {
+        if (b_side[static_cast<std::size_t>(v)] || v == e.a) continue;
+        near.emplace_back(manhattan(tree.nodes[static_cast<std::size_t>(v)].pos, pb), v);
+      }
+      if (near.empty()) continue;
+      std::sort(near.begin(), near.end());
+      e.c = near[rng.index(std::min<std::size_t>(3, near.size()))].second;
+      push_unique(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsteiner::search

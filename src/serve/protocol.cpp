@@ -220,6 +220,13 @@ std::optional<Request> parse_request(const std::string& payload, std::string* er
       }
       req.commit = commit->boolean;
     }
+    if (const obs::JsonValue* topology = doc->find("topology")) {
+      if (!topology->is_bool()) {
+        fail(error, "field 'topology' must be a boolean");
+        return std::nullopt;
+      }
+      req.topology = topology->boolean;
+    }
   }
 
   if (req.type == RequestType::kWirelength) {
@@ -300,6 +307,7 @@ std::string encode_request(const Request& request) {
     if (request.iterations > 0) b.field_i64("iterations", request.iterations);
     if (request.probe_every > 0) b.field_i64("probe_every", request.probe_every);
     b.field_bool("commit", request.commit);
+    if (request.topology) b.field_bool("topology", true);
   }
   if (request.type == RequestType::kWirelength) {
     std::string nets = "[";

@@ -61,6 +61,11 @@ struct Request {
   int iterations = 0;   ///< refine: max iterations (0 = RefineOptions default)
   int probe_every = 0;  ///< refine: sign-off probe cadence (0 = off)
   bool commit = true;   ///< refine: adopt the refined forest as working state
+  /// refine: interleave discrete topology search with the gradient loop
+  /// (TopologyOptions defaults; the server wires episodic + anchor sign-off
+  /// from the session flow). Off keeps the classic fixed-topology loop and
+  /// byte-identical responses.
+  bool topology = false;
   /// wirelength: one pin set per net, driver first, >= 2 pins each. Encoded
   /// as "nets":[{"pins":[{"x":..,"y":..},...]},...] with the usual _bits
   /// preference on coordinates.

@@ -511,9 +511,27 @@ void Server::handle_refine(const Pending& p) {
     };
   }
 
+  // Topology search wires its own request-local incremental state for the
+  // episodic reward (its dirty-net stream is independent of the periodic
+  // probe's) and the session flow's full sign-off as the keep-best anchor.
+  IncrementalSignoff episodic(session->loaded->design.get(), session->loaded->flow->options());
+  if (p.request.topology) {
+    opts.topology.enabled = true;
+    opts.topology.episodic_signoff =
+        [&](const SteinerForest& forest, const std::vector<int>& dirty) -> SignoffProbeResult {
+      const IncrementalSignoff::Result& r = episodic.update(forest, dirty);
+      return {r.metrics.wns_ns, r.metrics.tns_ns, r.incremental};
+    };
+    opts.topology.full_signoff = [&](const SteinerForest& forest) -> SignoffProbeResult {
+      const FlowResult r = session->loaded->flow->run_signoff(forest);
+      return {r.metrics.wns_ns, r.metrics.tns_ns, false};
+    };
+  }
+
   RefineResult result = refine_steiner_points(*session->loaded->design, session->forest,
                                               *session->loaded->model, opts);
   JsonBuilder b = response_builder(p.request.id, RequestType::kRefine);
+  if (p.request.topology) b.field_bool("topology", true);
   b.field_i64("iterations", result.iterations);
   b.field_bool("converged_by_ratio", result.converged_by_ratio);
   b.field_double("init_wns_ns", result.init_wns);

@@ -1,5 +1,6 @@
 #include "steiner/steiner_tree.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <queue>
 
@@ -94,6 +95,20 @@ void SteinerForest::build_movable_index() {
       }
     }
   }
+}
+
+void SteinerForest::replace_tree(int tree_index, SteinerTree tree) {
+  const auto before = [](const MovableRef& r, int t) { return r.tree < t; };
+  const auto lo = std::lower_bound(movable_.begin(), movable_.end(), tree_index, before);
+  auto hi = lo;
+  while (hi != movable_.end() && hi->tree == tree_index) ++hi;
+  std::vector<MovableRef> fresh;
+  for (std::size_t n = 0; n < tree.nodes.size(); ++n) {
+    if (tree.nodes[n].is_steiner()) fresh.push_back({tree_index, static_cast<int>(n)});
+  }
+  const auto at = movable_.erase(lo, hi);
+  movable_.insert(at, fresh.begin(), fresh.end());
+  trees[static_cast<std::size_t>(tree_index)] = std::move(tree);
 }
 
 std::vector<double> SteinerForest::gather_x() const {

@@ -69,6 +69,13 @@ class SteinerForest {
   /// Rebuild the flat movable-point index; invalidated by any structural
   /// edit of `trees`.
   void build_movable_index();
+
+  /// Structural single-tree replacement: swap in `tree` (same net) and patch
+  /// the movable index in place — the old tree's span is spliced out and the
+  /// replacement's Steiner nodes inserted at the same position, leaving the
+  /// index identical to a build_movable_index() from scratch (the
+  /// topology-search oracle diffs the two). Requires a current index.
+  void replace_tree(int tree_index, SteinerTree tree);
   const std::vector<MovableRef>& movable() const { return movable_; }
   std::size_t num_movable() const { return movable_.size(); }
 

@@ -53,6 +53,13 @@ GradientEvaluator::GradientEvaluator(const TimingGnn& model, const GraphCache& c
                                      const Design& design, const std::vector<double>& xs,
                                      const std::vector<double>& ys,
                                      const PenaltyWeights& weights) {
+  rebind(model, cache, design, xs, ys, weights);
+}
+
+void GradientEvaluator::rebind(const TimingGnn& model, const GraphCache& cache,
+                               const Design& design, const std::vector<double>& xs,
+                               const std::vector<double>& ys, const PenaltyWeights& weights) {
+  program_.reset();
   Tape& tape = program_.tape();
   const TimingGnn::Bound bound = model.bind(tape);
   vx_ = tape.leaf(Tensor::column(xs), /*requires_grad=*/true);

@@ -63,6 +63,17 @@ class GradientEvaluator {
   GradientResult evaluate(const std::vector<double>& xs, const std::vector<double>& ys,
                           const PenaltyWeights& weights);
 
+  /// Re-record the program for a new (cache, coordinates) pair in place —
+  /// the topology-edit path: discrete search changes the tape's *shape*, so
+  /// after an accepted edit the driver rebinds the evaluator to the edited
+  /// forest's graph cache instead of constructing a fresh one (the program's
+  /// arenas and this object's identity survive). Equivalent to constructing
+  /// a new evaluator; replays after rebind() are bit-identical to a fresh
+  /// record (tests/replay_test.cpp).
+  void rebind(const TimingGnn& model, const GraphCache& cache, const Design& design,
+              const std::vector<double>& xs, const std::vector<double>& ys,
+              const PenaltyWeights& weights);
+
   /// The underlying program (node counts, allocation counter) for benches
   /// and tests.
   const TapeProgram& program() const { return program_; }

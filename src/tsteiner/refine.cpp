@@ -44,6 +44,9 @@ double adaptive_theta(const TimingGnn& model, const GraphCache& cache, const Des
 
 RefineResult refine_steiner_points(const Design& design, const SteinerForest& initial,
                                    const TimingGnn& model, const RefineOptions& options) {
+  if (options.topology.enabled) {
+    return detail::refine_with_topology_search(design, initial, model, options);
+  }
   TS_TRACE_SPAN_CAT("tsteiner.refine", "tsteiner");
   static obs::Counter& m_iterations = obs::metrics().counter("refine.iterations");
   static obs::Counter& m_accepted = obs::metrics().counter("refine.iter_accepted");

@@ -38,6 +38,45 @@ struct SignoffProbeResult {
 using SignoffProbeFn =
     std::function<SignoffProbeResult(const SteinerForest&, const std::vector<int>&)>;
 
+/// Stateless full sign-off callback (callers wire Flow::run_signoff) — the
+/// keep-best anchor of the topology-search rounds.
+using SignoffAnchorFn = std::function<SignoffProbeResult(const SteinerForest&)>;
+
+/// Alternating discrete-search / gradient refinement (ROADMAP item 4).
+///
+/// When enabled, refine_steiner_points runs `rounds` alternations of (a) a
+/// deterministic MCTS over topology edits of the highest-|gradient| nets,
+/// scored by the retained-autodiff penalty replay and episodically gated by
+/// `episodic_signoff` on the edited net's dirty set, and (b) a gradient
+/// segment of `gradient_iterations` classic iterations on the (possibly
+/// re-shaped) forest, rebuilding the tape only for rounds whose topology
+/// actually changed. `full_signoff` anchors keep-best across rounds; if the
+/// anchor never improves, the initial forest passes through unchanged.
+///
+/// Off (the default) is byte-identical to the classic fixed-topology loop.
+/// On, results are bit-identical at any pool width and across reruns: all
+/// search randomness comes from Rng::mix substreams keyed by
+/// (seed, round, net, edit-path).
+struct TopologyOptions {
+  bool enabled = false;
+  int rounds = 3;
+  int gradient_iterations = 12;
+  int nets_per_round = 4;     ///< top-|gradient| trees searched per round
+  int rollouts = 12;          ///< MCTS leaf evaluations per searched net
+  int max_depth = 2;          ///< longest edit sequence per candidate
+  int max_candidates = 8;     ///< proposals enumerated per search node
+  double exploration = 0.7;   ///< UCT constant
+  std::uint64_t seed = 0x70b0u;
+  /// Episodic reward: sign-off restricted to the dirty-net set of the edit
+  /// under test (callers wire IncrementalSignoff::update — the same
+  /// dirty-net contract as RefineOptions::signoff_probe). Absent, edits are
+  /// accepted on the model score alone.
+  SignoffProbeFn episodic_signoff;
+  /// Keep-best anchor at round boundaries; absent, the model evaluation of
+  /// the whole forest anchors instead.
+  SignoffAnchorFn full_signoff;
+};
+
 struct RefineOptions {
   PenaltyWeights weights;          ///< lambda_w = -200, lambda_t = -2, gamma = 10
   double lambda_growth = 0.01;     ///< +1% per iteration ...
@@ -86,6 +125,9 @@ struct RefineOptions {
   /// (tsteiner_serve forwards these as progress frames). Purely
   /// observational — the refine trajectory is unaffected.
   std::function<void(const obs::RefineIterationRecord&)> iteration_sink;
+  /// Discrete topology search interleaved with the gradient loop; disabled
+  /// by default (bit-identical classic behavior).
+  TopologyOptions topology;
 };
 
 struct RefineResult {
@@ -112,9 +154,18 @@ struct RefineResult {
 
 /// Runs Algorithm 1 on a copy of `initial` and returns the refined forest.
 /// The model must have been trained for the design's technology; the graph
-/// cache is built internally from the initial topology.
+/// cache is built internally from the initial topology. With
+/// options.topology.enabled the call dispatches to the alternating
+/// search + gradient driver (refine_topology.cpp) instead.
 RefineResult refine_steiner_points(const Design& design, const SteinerForest& initial,
                                    const TimingGnn& model, const RefineOptions& options = {});
+
+namespace detail {
+/// The topology-enabled driver behind refine_steiner_points; exposed for the
+/// dispatch in refine.cpp only.
+RefineResult refine_with_topology_search(const Design& design, const SteinerForest& initial,
+                                         const TimingGnn& model, const RefineOptions& options);
+}  // namespace detail
 
 /// Adaptive stepsize (Eq. 9): theta = |x - x'|_2 / |g(x) - g(x')|_2 with
 /// x' = x + alpha * g(x). The gradient at x is taken from `g0` (the caller

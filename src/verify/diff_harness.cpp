@@ -16,6 +16,7 @@
 #include "gnn/model.hpp"
 #include "gnn/steiner_predictor.hpp"
 #include "steiner/batch_builder.hpp"
+#include "search/topo_edits.hpp"
 #include "serve/client.hpp"
 #include "serve/ops.hpp"
 #include "serve/server.hpp"
@@ -771,6 +772,146 @@ std::string compare_response_double(const obs::JsonValue& body, const std::strin
   return {};
 }
 
+// --- oracle: topology edit ops vs rebuilt-from-scratch forests --------------
+
+/// Bit-level tree equality (positions, pins, edges, driver, net).
+std::string compare_tree_bits(const SteinerTree& a, const SteinerTree& b) {
+  if (a.net != b.net) return "net id differs";
+  if (a.driver_node != b.driver_node) return "driver node differs";
+  if (a.nodes.size() != b.nodes.size()) return "node count differs";
+  if (a.edges.size() != b.edges.size()) return "edge count differs";
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    if (std::memcmp(&a.nodes[i].pos.x, &b.nodes[i].pos.x, sizeof(double)) != 0 ||
+        std::memcmp(&a.nodes[i].pos.y, &b.nodes[i].pos.y, sizeof(double)) != 0 ||
+        a.nodes[i].pin != b.nodes[i].pin) {
+      return "node " + std::to_string(i) + " differs";
+    }
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].a != b.edges[i].a || a.edges[i].b != b.edges[i].b) {
+      return "edge " + std::to_string(i) + " differs";
+    }
+  }
+  return {};
+}
+
+/// The incrementally-maintained forest (replace_tree patching the movable
+/// index in place) against one rebuilt from scratch.
+std::string compare_forest_vs_rebuilt(const SteinerForest& incremental) {
+  SteinerForest scratch;
+  scratch.trees = incremental.trees;
+  scratch.net_to_tree = incremental.net_to_tree;
+  scratch.build_movable_index();
+  if (incremental.num_movable() != scratch.num_movable()) {
+    return "movable index size diverges from a from-scratch rebuild";
+  }
+  for (std::size_t i = 0; i < scratch.movable().size(); ++i) {
+    if (incremental.movable()[i].tree != scratch.movable()[i].tree ||
+        incremental.movable()[i].node != scratch.movable()[i].node) {
+      return "movable ref " + std::to_string(i) + " diverges from a from-scratch rebuild";
+    }
+  }
+  std::string msg = bits_compare(incremental.gather_x(), scratch.gather_x(), "gather_x");
+  if (msg.empty()) msg = bits_compare(incremental.gather_y(), scratch.gather_y(), "gather_y");
+  return msg;
+}
+
+std::string oracle_topology_search(OracleContext& ctx) {
+  const FuzzCase& c = *ctx.fuzz_case;
+  Rng& rng = *ctx.rng;
+  Design design = c.design;  // the Flow constructor recalibrates the clock
+  const Flow flow(&design);
+  SteinerForest cur = flow.initial_forest();
+  cur.build_movable_index();
+  const std::vector<int> candidates = movable_trees(cur);
+  if (candidates.empty()) return {};
+  const RectI die = design.die();
+
+  IncrementalSignoff inc(&design, flow.options());
+  inc.full(cur);
+  {
+    const FlowResult ref = flow.run_signoff(cur);
+    const std::string msg = compare_signoff(inc.result(), ref);
+    if (!msg.empty()) return "anchor full sign-off: " + msg;
+  }
+
+  // Randomized edit sequence through the search layer's ops, with the
+  // forest maintained incrementally; replayed from scratch at the end.
+  std::vector<std::pair<int, search::TopologyEdit>> applied;
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    const int t = candidates[rng.index(candidates.size())];
+    const SteinerTree& tree = cur.trees[static_cast<std::size_t>(t)];
+    search::EditOptions eopts;
+    eopts.max_candidates = 6;
+
+    if (ctx.mutate && round == kRounds - 1) {
+      // The injected bug: a swap that re-attaches the cut edge's far side
+      // to itself, applied with the invariant gate skipped. The per-round
+      // invariant check below must flag the broken tree — if it passes, the
+      // gate is vacuous.
+      if (tree.edges.empty()) continue;
+      search::TopologyEdit bad;
+      bad.kind = search::EditKind::kSwap;
+      bad.a = tree.edges[0].a;
+      bad.b = tree.edges[0].b;
+      bad.c = bad.b;  // self-attachment: disconnects the b side
+      search::EditOptions skip = eopts;
+      skip.skip_validation = true;
+      auto broken = search::apply_edit(tree, die, bad, skip);
+      if (!broken.has_value()) return "mutation: skip-validation apply refused the edit";
+      cur.replace_tree(t, std::move(*broken));
+    } else {
+      std::vector<search::TopologyEdit> proposals =
+          search::enumerate_edits(tree, die, rng, eopts);
+      bool edited = false;
+      for (const search::TopologyEdit& edit : proposals) {
+        std::string why;
+        auto next = search::apply_edit(tree, die, edit, eopts, &why);
+        if (!next.has_value()) continue;  // gate rejections are expected
+        applied.emplace_back(t, edit);
+        cur.replace_tree(t, std::move(*next));
+        edited = true;
+        break;
+      }
+      if (!edited) continue;
+    }
+
+    // Invariants first: a broken tree must be flagged before sign-off
+    // machinery consumes it.
+    std::string msg = check_forest_invariants(design, cur, /*require_min_degree=*/true);
+    if (!msg.empty()) return "round " + std::to_string(round) + " invariants: " + msg;
+    msg = compare_forest_vs_rebuilt(cur);
+    if (!msg.empty()) return "round " + std::to_string(round) + ": " + msg;
+
+    // Post-edit sign-off: incremental with the edited net's dirty set vs a
+    // full rebuild, bit for bit.
+    const int net = cur.trees[static_cast<std::size_t>(t)].net;
+    const IncrementalSignoff::Result& fast = inc.update(cur, {net});
+    const FlowResult ref = flow.run_signoff(cur);
+    msg = compare_signoff(fast, ref);
+    if (!msg.empty()) return "round " + std::to_string(round) + " sign-off: " + msg;
+  }
+
+  // Replay the accepted sequence on a fresh copy: edit application is a pure
+  // function of (tree, edit), so the replayed forest must match bit for bit.
+  SteinerForest replay = flow.initial_forest();
+  replay.build_movable_index();
+  for (const auto& [t, edit] : applied) {
+    search::EditOptions eopts;
+    auto next = search::apply_edit(replay.trees[static_cast<std::size_t>(t)], die, edit, eopts);
+    if (!next.has_value()) return "replay: previously-accepted edit now rejected";
+    replay.replace_tree(t, std::move(*next));
+  }
+  for (std::size_t t = 0; t < cur.trees.size(); ++t) {
+    const std::string msg = compare_tree_bits(cur.trees[t], replay.trees[t]);
+    if (!msg.empty()) {
+      return "replayed tree " + std::to_string(t) + ": " + msg;
+    }
+  }
+  return {};
+}
+
 std::string oracle_serve(OracleContext& ctx) {
   const FuzzCase& c = *ctx.fuzz_case;
   Rng& rng = *ctx.rng;
@@ -789,8 +930,9 @@ std::string oracle_serve(OracleContext& ctx) {
   spec.endpoints = static_cast<int>(design.endpoint_pins().size());
   spec.seed = c.seed;
   const std::string snap = ctx.work_dir + "/serve_" + std::to_string(c.seed) + ".tsdb";
+  const TimingGnn model = make_case_model(c);
   if (!serve::save_session_snapshot(spec, design, flow.calibration(), flow.initial_forest(),
-                                    fuzz_library(), nullptr,
+                                    fuzz_library(), &model,
                                     SteinerPredictor::shared_pretrained().get(), snap)) {
     return "cannot write serve snapshot " + snap;
   }
@@ -904,6 +1046,50 @@ std::string oracle_serve(OracleContext& ctx) {
     if (!msg.empty()) return "sta round " + std::to_string(round) + ": " + msg;
   }
 
+  // Refine through the session (uncommitted, classic then topology-enabled)
+  // must reproduce the direct refine loop bit for bit: the server decodes
+  // the snapshot's model copy and replays handle_refine's exact option
+  // wiring, so any divergence is a codec or dispatch bug.
+  for (const bool topology : {false, true}) {
+    serve::Request refine;
+    refine.type = serve::RequestType::kRefine;
+    refine.session = session->str;
+    refine.fingerprint = fingerprint->str;
+    refine.iterations = 3;
+    refine.commit = false;
+    refine.topology = topology;
+    const auto reply = client.call(refine);
+    const char* tag = topology ? "refine (topology)" : "refine";
+    if (!reply.ok) return std::string(tag) + " failed: " + reply.error;
+
+    RefineOptions opts;
+    opts.gcell_size = flow.options().router.gcell_size;
+    opts.max_iterations = refine.iterations;
+    IncrementalSignoff episodic(&design, flow.options());
+    if (topology) {
+      opts.topology.enabled = true;
+      opts.topology.episodic_signoff =
+          [&](const SteinerForest& forest, const std::vector<int>& dirty) -> SignoffProbeResult {
+        const IncrementalSignoff::Result& r = episodic.update(forest, dirty);
+        return {r.metrics.wns_ns, r.metrics.tns_ns, r.incremental};
+      };
+      opts.topology.full_signoff = [&](const SteinerForest& forest) -> SignoffProbeResult {
+        const FlowResult r = flow.run_signoff(forest);
+        return {r.metrics.wns_ns, r.metrics.tns_ns, false};
+      };
+    }
+    const RefineResult direct = refine_steiner_points(design, cur, model, opts);
+    std::string msg = compare_response_double(reply.body, "init_wns_ns", direct.init_wns);
+    if (msg.empty()) msg = compare_response_double(reply.body, "init_tns_ns", direct.init_tns);
+    if (msg.empty()) msg = compare_response_double(reply.body, "best_wns_ns", direct.best_wns);
+    if (msg.empty()) msg = compare_response_double(reply.body, "best_tns_ns", direct.best_tns);
+    if (msg.empty() && reply.body.number_or("iterations", -1.0) !=
+                           static_cast<double>(direct.iterations)) {
+      msg = "iteration count diverges";
+    }
+    if (!msg.empty()) return std::string(tag) + ": " + msg;
+  }
+
   // Full sign-off through the session must match the golden pipeline.
   serve::Request signoff;
   signoff.type = serve::RequestType::kSignoff;
@@ -945,6 +1131,7 @@ DiffHarness DiffHarness::standard() {
   h.add_oracle({"lse-penalty", oracle_lse_penalty, /*stride=*/1, true});
   h.add_oracle({"keep-best", oracle_keep_best, /*stride=*/4, false});
   h.add_oracle({"steiner-batch", oracle_steiner_batch, /*stride=*/2, true});
+  h.add_oracle({"topology-search", oracle_topology_search, /*stride=*/1, true});
   h.add_oracle({"serve", oracle_serve, /*stride=*/4, true});
   return h;
 }

@@ -5,15 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
 
 #include "autodiff/program.hpp"
 #include "flow/flow.hpp"
 #include "netlist/design_generator.hpp"
 #include "place/placer.hpp"
+#include "search/topo_edits.hpp"
 #include "steiner/rsmt.hpp"
 #include "tsteiner/gradient.hpp"
 #include "tsteiner/refine.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace tsteiner {
 namespace {
@@ -270,6 +273,79 @@ TEST(Replay, TapeReserveAndStats) {
   // A second backward reuses every gradient buffer.
   tape.backward(root);
   EXPECT_EQ(tape.stats().allocations, warm.allocations);
+}
+
+TEST(Replay, RebindAfterTopologyEditsMatchesFreshTapeAndFiniteDifference) {
+  Fixture f = make_fixture(96);
+  f.forest.build_movable_index();
+  const TimingGnn model = make_model();
+  PenaltyWeights w;
+  const RectI die = f.design.die();
+  Rng rng(4242);
+
+  auto xs = f.forest.gather_x();
+  auto ys = f.forest.gather_y();
+  ASSERT_GT(xs.size(), 0u);
+  GradientEvaluator evaluator(model, *f.cache, f.design, xs, ys, w);
+  std::size_t bound = xs.size();
+  std::shared_ptr<const GraphCache> cache = f.cache;
+
+  // Apply a handful of discrete topology edits (insert / delete / reshift /
+  // swap as the enumeration offers them); after each accepted edit the tape
+  // is rebuilt in place via rebind() and must match a fresh recording bit
+  // for bit — and the finite-difference slope of the replayed penalty.
+  int applied = 0;
+  std::set<search::EditKind> kinds;
+  for (int attempt = 0; attempt < 64 && applied < 4; ++attempt) {
+    const int t = static_cast<int>(rng.index(f.forest.trees.size()));
+    const SteinerTree& tree = f.forest.trees[static_cast<std::size_t>(t)];
+    if (tree.num_steiner_nodes() == 0) continue;
+    bool edited = false;
+    search::TopologyEdit chosen;
+    for (const auto& e : search::enumerate_edits(tree, die, rng)) {
+      auto next = search::apply_edit(tree, die, e);
+      if (!next.has_value()) continue;
+      chosen = e;
+      f.forest.replace_tree(t, std::move(*next));
+      edited = true;
+      break;
+    }
+    if (!edited) continue;
+    ++applied;
+    kinds.insert(chosen.kind);
+
+    const auto xs2 = f.forest.gather_x();
+    const auto ys2 = f.forest.gather_y();
+    if (xs2.size() != bound) {
+      // Stale program: a changed movable count must be rejected, never
+      // silently replayed.
+      EXPECT_THROW(evaluator.gradients(xs2, ys2, w), std::runtime_error);
+    }
+    cache = build_graph_cache(f.design, f.forest);
+    evaluator.rebind(model, *cache, f.design, xs2, ys2, w);
+    bound = xs2.size();
+
+    const GradientResult fresh = compute_timing_gradients(model, *cache, f.design, xs2, ys2, w);
+    const GradientResult replayed = evaluator.gradients(xs2, ys2, w);
+    EXPECT_TRUE(results_bit_equal(fresh, replayed))
+        << "edit " << applied << " kind " << static_cast<int>(chosen.kind);
+
+    if (!xs2.empty()) {
+      const double eps = 1e-4;
+      const std::size_t i = xs2.size() / 2;
+      auto xp = xs2;
+      auto xm = xs2;
+      xp[i] += eps;
+      xm[i] -= eps;
+      const double numeric =
+          (evaluator.evaluate(xp, ys2, w).penalty - evaluator.evaluate(xm, ys2, w).penalty) /
+          (2.0 * eps);
+      EXPECT_NEAR(replayed.grad_x[i], numeric, 1e-4 + 0.05 * std::abs(numeric))
+          << "edit " << applied;
+    }
+  }
+  ASSERT_GE(applied, 2) << "edit enumeration never produced an applicable edit";
+  EXPECT_GE(kinds.size(), 1u);
 }
 
 TEST(Replay, RefineUsesSharedInitialGradientAndReportsPhases) {

@@ -261,6 +261,37 @@ TEST(Protocol, WirelengthRoundTripAndStrictness) {
   }
 }
 
+TEST(Protocol, RefineTopologyFlagRoundTripAndStrictness) {
+  serve::Request in;
+  in.type = serve::RequestType::kRefine;
+  in.id = 21;
+  in.session = "s9";
+  in.fingerprint = "BEEF";
+  in.iterations = 3;
+  in.topology = true;
+  std::string error;
+  const auto on = serve::parse_request(serve::encode_request(in), &error);
+  ASSERT_TRUE(on.has_value()) << error;
+  EXPECT_TRUE(on->topology);
+
+  // Absent flag parses to the off default (and the encoder omits it, so the
+  // off-path wire bytes are unchanged from the pre-topology schema).
+  in.topology = false;
+  const std::string encoded = serve::encode_request(in);
+  EXPECT_EQ(encoded.find("topology"), std::string::npos);
+  const auto off = serve::parse_request(encoded, &error);
+  ASSERT_TRUE(off.has_value()) << error;
+  EXPECT_FALSE(off->topology);
+
+  // Strict parse: a non-boolean topology field is a clean rejection.
+  EXPECT_FALSE(serve::parse_request(
+                   "{\"v\":1,\"id\":1,\"type\":\"refine\",\"session\":\"s\","
+                   "\"fingerprint\":\"F\",\"topology\":1}",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("topology"), std::string::npos) << error;
+}
+
 TEST(Protocol, DoubleBitsHexRoundTrip) {
   for (const double v : {0.0, -0.0, 1.0, -1.5, 0.1, 1e-300, 1e300}) {
     double back = 123.0;
@@ -706,6 +737,124 @@ TEST(Server, RefineBitIdenticalToDirectLoopIncludingCommittedCoords) {
   EXPECT_TRUE(bits_eq(got, golden.metrics.tns_ns));
   ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "wirelength_dbu", &got));
   EXPECT_TRUE(bits_eq(got, golden.metrics.wirelength_dbu));
+
+  client.close_session(session->str);
+  server.stop();
+}
+
+TEST(Server, TopologyRefineBitIdenticalAndEditedForestSnapshotRoundTrips) {
+  const std::string snap = write_snapshot(23, "refine_topo.tsdb", /*with_model=*/true);
+
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto opened = client.open(snap);
+  ASSERT_TRUE(opened.ok) << opened.error;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  ASSERT_NE(session, nullptr);
+  ASSERT_NE(fingerprint, nullptr);
+
+  serve::Request refine;
+  refine.type = serve::RequestType::kRefine;
+  refine.session = session->str;
+  refine.fingerprint = fingerprint->str;
+  refine.iterations = 3;
+  refine.commit = true;
+  refine.topology = true;
+  const auto reply = client.call(refine);
+  ASSERT_TRUE(reply.ok) << reply.error;
+  const obs::JsonValue* topo_field = reply.body.find("topology");
+  ASSERT_NE(topo_field, nullptr);
+  EXPECT_TRUE(topo_field->is_bool() && topo_field->boolean);
+
+  // Direct side replicates handle_refine's topology wiring exactly: a fresh
+  // request-local IncrementalSignoff for the episodic reward and the flow's
+  // full sign-off as the keep-best anchor.
+  auto loaded = serve::load_session_design(snap, FlowOptions{}, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  ASSERT_NE(loaded->model, nullptr);
+  RefineOptions ropts;
+  ropts.gcell_size = loaded->flow->options().router.gcell_size;
+  ropts.max_iterations = 3;
+  ropts.topology.enabled = true;
+  IncrementalSignoff episodic(loaded->design.get(), loaded->flow->options());
+  ropts.topology.episodic_signoff = [&](const SteinerForest& forest,
+                                        const std::vector<int>& dirty) -> SignoffProbeResult {
+    const IncrementalSignoff::Result& r = episodic.update(forest, dirty);
+    return {r.metrics.wns_ns, r.metrics.tns_ns, r.incremental};
+  };
+  ropts.topology.full_signoff = [&](const SteinerForest& forest) -> SignoffProbeResult {
+    const FlowResult r = loaded->flow->run_signoff(forest);
+    return {r.metrics.wns_ns, r.metrics.tns_ns, false};
+  };
+  const RefineResult want = refine_steiner_points(
+      *loaded->design, loaded->flow->initial_forest(), *loaded->model, ropts);
+
+  double got = 0.0;
+  ASSERT_TRUE(serve::read_double_field(reply.body, "init_wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, want.init_wns));
+  ASSERT_TRUE(serve::read_double_field(reply.body, "best_wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, want.best_wns));
+  ASSERT_TRUE(serve::read_double_field(reply.body, "best_tns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, want.best_tns));
+
+  // The committed forest (possibly re-shaped by accepted edits) must drive
+  // the session's sign-off to the direct result's golden numbers.
+  serve::Request signoff;
+  signoff.type = serve::RequestType::kSignoff;
+  signoff.session = session->str;
+  signoff.fingerprint = fingerprint->str;
+  const auto signoff_reply = client.call(signoff);
+  ASSERT_TRUE(signoff_reply.ok) << signoff_reply.error;
+  const FlowResult golden = loaded->flow->run_signoff(want.forest);
+  ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "wns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.wns_ns));
+  ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "tns_ns", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.tns_ns));
+  ASSERT_TRUE(serve::read_double_field(signoff_reply.body, "wirelength_dbu", &got));
+  EXPECT_TRUE(bits_eq(got, golden.metrics.wirelength_dbu));
+
+  // Edited forests round-trip through the TSteinerDB snapshot codec: save a
+  // snapshot of the refined (topology-edited) forest, restore it, and
+  // compare every node and edge bit for bit.
+  const verify::FuzzCase c = verify::make_case(23, "tiny");
+  Design design = c.design;
+  const Flow flow(&design);
+  BenchmarkSpec spec;
+  spec.name = c.params.name;
+  spec.target_cells = static_cast<int>(c.num_cells());
+  spec.endpoints = static_cast<int>(design.endpoint_pins().size());
+  spec.seed = 23;
+  const std::string edited_snap = temp_path("refine_topo_edited.tsdb");
+  ASSERT_TRUE(serve::save_session_snapshot(spec, design, flow.calibration(), want.forest,
+                                           verify::fuzz_library(), loaded->model.get(),
+                                           nullptr, edited_snap));
+  auto restored = serve::load_session_design(edited_snap, FlowOptions{}, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  const SteinerForest& back = restored->flow->initial_forest();
+  ASSERT_EQ(back.trees.size(), want.forest.trees.size());
+  for (std::size_t t = 0; t < back.trees.size(); ++t) {
+    const SteinerTree& a = want.forest.trees[t];
+    const SteinerTree& b = back.trees[t];
+    ASSERT_EQ(a.nodes.size(), b.nodes.size()) << "tree " << t;
+    ASSERT_EQ(a.edges.size(), b.edges.size()) << "tree " << t;
+    EXPECT_EQ(a.driver_node, b.driver_node) << "tree " << t;
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+      EXPECT_TRUE(bits_eq(a.nodes[n].pos.x, b.nodes[n].pos.x)) << "tree " << t;
+      EXPECT_TRUE(bits_eq(a.nodes[n].pos.y, b.nodes[n].pos.y)) << "tree " << t;
+      EXPECT_EQ(a.nodes[n].pin, b.nodes[n].pin) << "tree " << t;
+    }
+    for (std::size_t e = 0; e < a.edges.size(); ++e) {
+      EXPECT_EQ(a.edges[e].a, b.edges[e].a) << "tree " << t;
+      EXPECT_EQ(a.edges[e].b, b.edges[e].b) << "tree " << t;
+    }
+  }
 
   client.close_session(session->str);
   server.stop();
