@@ -36,6 +36,7 @@
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/timer.hpp"
 #include "verify/case_gen.hpp"
 
@@ -176,13 +177,6 @@ SessionOutcome replay_direct(const SessionPlan& plan) {
   return out;
 }
 
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t i = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(i, sorted.size() - 1)];
-}
-
 }  // namespace
 
 int main() {
@@ -306,11 +300,11 @@ int main() {
 
   std::printf("%llu request(s) in %.2fs: %.1f req/s | p50 %.1f ms  p99 %.1f ms\n",
               static_cast<unsigned long long>(total_requests), total_s, req_per_s,
-              1e3 * percentile(all, 0.50), 1e3 * percentile(all, 0.99));
+              1e3 * percentile(all, 50.0), 1e3 * percentile(all, 99.0));
   for (auto& [type, lat] : by_type) {
     std::sort(lat.begin(), lat.end());
     std::printf("  %-8s n=%5zu  p50 %7.2f ms  p99 %7.2f ms\n", type.c_str(), lat.size(),
-                1e3 * percentile(lat, 0.50), 1e3 * percentile(lat, 0.99));
+                1e3 * percentile(lat, 50.0), 1e3 * percentile(lat, 99.0));
   }
   std::printf("cache: %llu load(s), %llu hit(s), %llu eviction(s) | %d/%d sampled "
               "session(s) bit-identical\n",
@@ -327,13 +321,13 @@ int main() {
     std::fprintf(f, "  \"requests\": %llu,\n  \"wall_s\": %.3f,\n  \"req_per_s\": %.2f,\n",
                  static_cast<unsigned long long>(total_requests), total_s, req_per_s);
     std::fprintf(f, "  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n",
-                 1e3 * percentile(all, 0.50), 1e3 * percentile(all, 0.99));
+                 1e3 * percentile(all, 50.0), 1e3 * percentile(all, 99.0));
     std::fprintf(f, "  \"by_type\": {\n");
     std::size_t i = 0;
     for (auto& [type, lat] : by_type) {
       std::fprintf(f, "    \"%s\": {\"n\": %zu, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
-                   type.c_str(), lat.size(), 1e3 * percentile(lat, 0.50),
-                   1e3 * percentile(lat, 0.99), ++i < by_type.size() ? "," : "");
+                   type.c_str(), lat.size(), 1e3 * percentile(lat, 50.0),
+                   1e3 * percentile(lat, 99.0), ++i < by_type.size() ? "," : "");
     }
     std::fprintf(f, "  },\n");
     std::fprintf(f,

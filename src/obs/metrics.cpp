@@ -78,6 +78,11 @@ Histogram HistogramMetric::snapshot() const {
   return hist_;
 }
 
+double HistogramMetric::percentile(double q) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return hist_.percentile(q);
+}
+
 void HistogramMetric::reset() {
   std::lock_guard<std::mutex> lk(mutex_);
   std::fill(hist_.counts.begin(), hist_.counts.end(), 0);
@@ -151,6 +156,11 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
         s.lo = h.lo;
         s.hi = h.hi;
         s.buckets.assign(h.counts.begin(), h.counts.end());
+        s.edges.reserve(h.counts.size() + 1);
+        for (std::size_t i = 0; i <= h.counts.size(); ++i) s.edges.push_back(h.bucket_edge(i));
+        s.p50 = h.p50();
+        s.p90 = h.p90();
+        s.p99 = h.p99();
         break;
       }
     }
@@ -208,12 +218,23 @@ std::string MetricsRegistry::to_json() const {
         out += buf;
         out += ",\"sum\":";
         append_number(out, s.value);
+        out += ",\"p50\":";
+        append_number(out, s.p50);
+        out += ",\"p90\":";
+        append_number(out, s.p90);
+        out += ",\"p99\":";
+        append_number(out, s.p99);
         out += ",\"buckets\":[";
         for (std::size_t i = 0; i < s.buckets.size(); ++i) {
           if (i != 0) out += ",";
           std::snprintf(buf, sizeof(buf), "%llu",
                         static_cast<unsigned long long>(s.buckets[i]));
           out += buf;
+        }
+        out += "],\"edges\":[";
+        for (std::size_t i = 0; i < s.edges.size(); ++i) {
+          if (i != 0) out += ",";
+          append_number(out, s.edges[i]);
         }
         out += "]}";
       }

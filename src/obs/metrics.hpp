@@ -72,6 +72,12 @@ class HistogramMetric {
   std::uint64_t count() const;
   double sum() const;
   Histogram snapshot() const;
+  /// Rank-interpolated percentile of the current buckets, q in [0, 100]
+  /// (Histogram::percentile on a locked snapshot).
+  double percentile(double q) const;
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
   void reset();
 
  private:
@@ -90,6 +96,8 @@ struct MetricSample {
   std::uint64_t count = 0;      ///< histogram observation count
   double lo = 0.0, hi = 0.0;    ///< histogram range
   std::vector<std::uint64_t> buckets;
+  std::vector<double> edges;    ///< bucket edges, buckets.size() + 1 entries
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;  ///< rank-interpolated percentiles
 };
 
 class MetricsRegistry {

@@ -21,6 +21,9 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t lane = 1;
+  std::uint64_t req = 0;           // request-id span arg; 0 = no args block
+  std::string tag;                 // client trace tag arg; empty = absent
+  bool async = false;              // emit as a "b"/"e" pair instead of "X"
 };
 
 /// Per-thread event buffer. Appends are uncontended (each thread owns its
@@ -117,7 +120,8 @@ std::uint64_t trace_now_ns() {
 }
 
 void record_span(const char* name, const std::string* dynamic_name, const char* category,
-                 std::uint64_t start_ns, std::uint64_t end_ns) {
+                 std::uint64_t start_ns, std::uint64_t end_ns, std::uint64_t req,
+                 const std::string* tag) {
   ThreadBuffer& buf = buffer_for_this_thread();
   TraceEvent ev;
   ev.name = name;
@@ -126,6 +130,8 @@ void record_span(const char* name, const std::string* dynamic_name, const char* 
   ev.start_ns = start_ns;
   ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   ev.lane = buf.lane;
+  ev.req = req;
+  if (tag != nullptr) ev.tag = *tag;
   {
     std::lock_guard<std::mutex> lk(buf.mutex);
     buf.events.push_back(std::move(ev));
@@ -135,12 +141,45 @@ void record_span(const char* name, const std::string* dynamic_name, const char* 
 
 }  // namespace detail
 
+std::uint64_t trace_clock_ns() { return detail::trace_now_ns(); }
+
+void emit_span(const char* name, const char* category, std::uint64_t start_ns,
+               std::uint64_t end_ns, std::uint64_t req, const std::string* tag) {
+  if (!detail::trace_on()) return;
+  detail::record_span(name, nullptr, category, start_ns, end_ns, req, tag);
+}
+
+void emit_async_span(const char* name, const char* category, std::uint64_t start_ns,
+                     std::uint64_t end_ns, std::uint64_t req) {
+  if (!detail::trace_on()) return;
+  ThreadBuffer& buf = buffer_for_this_thread();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = category;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.lane = buf.lane;
+  ev.req = req;
+  ev.async = true;
+  {
+    std::lock_guard<std::mutex> lk(buf.mutex);
+    buf.events.push_back(std::move(ev));
+  }
+  state().event_count.fetch_add(1, std::memory_order_relaxed);
+}
+
 TraceSpan::TraceSpan(const std::string& name, const char* category) noexcept {
   if (detail::trace_on()) {
     owned_ = new std::string(name);
     cat_ = category;
     start_ns_ = detail::trace_now_ns();
   }
+}
+
+void TraceSpan::set_tag(const std::string& tag) {
+  if ((name_ == nullptr && owned_ == nullptr) || tag.empty()) return;
+  delete owned_tag_;
+  owned_tag_ = new std::string(tag);
 }
 
 void enable_trace(const std::string& path) {
@@ -179,12 +218,34 @@ bool flush_trace() {
     for (const TraceEvent& ev : buf->events) {
       const std::string name = ev.name != nullptr ? json_escape(ev.name)
                                                   : json_escape(ev.dynamic_name);
-      std::fprintf(f,
-                   "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-                   "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
-                   first ? "" : ",\n", name.c_str(), json_escape(ev.cat).c_str(),
-                   static_cast<double>(ev.start_ns) * 1e-3,
-                   static_cast<double>(ev.dur_ns) * 1e-3, ev.lane);
+      std::string args;
+      if (ev.req != 0) {
+        args = ",\"args\":{\"req\":" + std::to_string(ev.req);
+        if (!ev.tag.empty()) args += ",\"tag\":\"" + json_escape(ev.tag) + "\"";
+        args += "}";
+      }
+      if (ev.async) {
+        // Async pair: grouped by cat+id in Perfetto, exempt from per-lane
+        // nesting (queue waits of pending requests overlap freely).
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"b\",\"id\":\"r%llu\","
+                     "\"ts\":%.3f,\"pid\":1,\"tid\":%u%s},\n"
+                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"e\",\"id\":\"r%llu\","
+                     "\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+                     first ? "" : ",\n", name.c_str(), json_escape(ev.cat).c_str(),
+                     static_cast<unsigned long long>(ev.req),
+                     static_cast<double>(ev.start_ns) * 1e-3, ev.lane, args.c_str(),
+                     name.c_str(), json_escape(ev.cat).c_str(),
+                     static_cast<unsigned long long>(ev.req),
+                     static_cast<double>(ev.start_ns + ev.dur_ns) * 1e-3, ev.lane);
+      } else {
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                     "\"dur\":%.3f,\"pid\":1,\"tid\":%u%s}",
+                     first ? "" : ",\n", name.c_str(), json_escape(ev.cat).c_str(),
+                     static_cast<double>(ev.start_ns) * 1e-3,
+                     static_cast<double>(ev.dur_ns) * 1e-3, ev.lane, args.c_str());
+      }
       first = false;
     }
   }

@@ -38,7 +38,8 @@ inline bool trace_on() {
   return g_trace_on.load(std::memory_order_relaxed);
 }
 void record_span(const char* name, const std::string* dynamic_name, const char* category,
-                 std::uint64_t start_ns, std::uint64_t end_ns);
+                 std::uint64_t start_ns, std::uint64_t end_ns, std::uint64_t req = 0,
+                 const std::string* tag = nullptr);
 std::uint64_t trace_now_ns();
 }  // namespace detail
 
@@ -65,6 +66,25 @@ std::size_t trace_event_count();
 /// measure multiple modes in one process).
 void reset_trace();
 
+/// Timestamp on the tracer clock (ns since the tracer epoch), for spans
+/// manufactured with explicit endpoints. Callers should only take timestamps
+/// while trace_enabled() — the disabled fast path must stay clock-free.
+std::uint64_t trace_clock_ns();
+
+/// Emit a complete "X" span with explicit endpoints on the calling thread's
+/// lane. `req != 0` attaches {"req":N} span args (plus {"tag":...} when a
+/// non-empty tag is supplied). No-op while tracing is disabled; `name` must
+/// be a literal (or outlive the flush).
+void emit_span(const char* name, const char* category, std::uint64_t start_ns,
+               std::uint64_t end_ns, std::uint64_t req = 0, const std::string* tag = nullptr);
+
+/// Emit an async ("b"/"e") span pair keyed by `req`. Async events are not
+/// thread-scoped, so overlapping intervals — queue waits of concurrently
+/// pending requests — do not violate the per-lane nesting contract that
+/// applies to "X" spans. No-op while tracing is disabled.
+void emit_async_span(const char* name, const char* category, std::uint64_t start_ns,
+                     std::uint64_t end_ns, std::uint64_t req);
+
 class TraceSpan {
  public:
   /// `name` must be a string literal (or outlive the flush).
@@ -75,18 +95,34 @@ class TraceSpan {
       start_ns_ = detail::trace_now_ns();
     }
   }
+  /// Request-correlated span: `req` is attached as {"req":N} span args
+  /// (req == 0 records no args). Used by the serve layer.
+  TraceSpan(const char* name, const char* category, std::uint64_t req) noexcept
+      : TraceSpan(name, category) {
+    req_ = req;
+  }
   /// Owning overload for dynamic names (design names etc.); copies only when
   /// tracing is enabled.
   TraceSpan(const std::string& name, const char* category) noexcept;
+
+  /// Attach/replace the request id after construction (e.g. once a request
+  /// has been parsed and assigned one). Cheap no-op when the span is dormant.
+  void set_req(std::uint64_t req) noexcept {
+    if (name_ != nullptr || owned_ != nullptr) req_ = req;
+  }
+  /// Attach a client trace tag, copied only when the span is live.
+  void set_tag(const std::string& tag);
 
   ~TraceSpan() {
     // Flushing between construction and destruction can only drop this span,
     // never corrupt the file; the enabled check is deliberately re-taken so
     // a span open across disable_trace() is simply not recorded.
     if ((name_ != nullptr || owned_ != nullptr) && detail::trace_on()) {
-      detail::record_span(name_, owned_, cat_, start_ns_, detail::trace_now_ns());
+      detail::record_span(name_, owned_, cat_, start_ns_, detail::trace_now_ns(), req_,
+                          owned_tag_);
     }
     delete owned_;
+    delete owned_tag_;
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -97,6 +133,8 @@ class TraceSpan {
   const std::string* owned_ = nullptr;
   const char* cat_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t req_ = 0;
+  const std::string* owned_tag_ = nullptr;
 };
 
 }  // namespace tsteiner::obs
@@ -107,3 +145,6 @@ class TraceSpan {
 #define TS_TRACE_SPAN(name) ::tsteiner::obs::TraceSpan TS_TRACE_PASTE(ts_span_, __LINE__)(name)
 #define TS_TRACE_SPAN_CAT(name, cat) \
   ::tsteiner::obs::TraceSpan TS_TRACE_PASTE(ts_span_, __LINE__)(name, cat)
+/// A request-correlated scoped span ({"req":N} span args).
+#define TS_TRACE_SPAN_REQ(name, cat, req) \
+  ::tsteiner::obs::TraceSpan TS_TRACE_PASTE(ts_span_, __LINE__)(name, cat, req)

@@ -116,9 +116,13 @@ ServeClient::Reply ServeClient::call(Request request) {
     }
     const double id = body->number_or("id", -1.0);
     if (frame.kind == FrameKind::kProgress) {
-      if (id == static_cast<double>(request.id)) reply.progress.push_back(std::move(*body));
+      if (id == static_cast<double>(request.id)) {
+        reply.progress.push_back(std::move(*body));
+        reply.progress_raw.emplace_back(frame.payload.begin(), frame.payload.end());
+      }
       continue;
     }
+    reply.raw.assign(frame.payload.begin(), frame.payload.end());
     if (id != static_cast<double>(request.id) && id != 0.0) {
       // A response for someone else on a shared connection is a protocol
       // violation in this blocking client (one call in flight at a time).
@@ -159,6 +163,12 @@ ServeClient::Reply ServeClient::close_session(const std::string& session) {
 ServeClient::Reply ServeClient::stats() {
   Request r;
   r.type = RequestType::kStats;
+  return call(r);
+}
+
+ServeClient::Reply ServeClient::metrics() {
+  Request r;
+  r.type = RequestType::kMetrics;
   return call(r);
 }
 

@@ -33,6 +33,8 @@ class ServeClient {
     std::string error;   ///< transport or server error message
     obs::JsonValue body; ///< parsed kResponse/kError payload (null if transport failed)
     std::vector<obs::JsonValue> progress;  ///< kProgress payloads, in order
+    std::string raw;     ///< response payload bytes (obs-mode bit-identity gate)
+    std::vector<std::string> progress_raw;  ///< kProgress payload bytes, in order
   };
 
   /// Send one request and block for its response. A request id of 0 is
@@ -44,6 +46,7 @@ class ServeClient {
   Reply open(const std::string& snapshot_path);
   Reply close_session(const std::string& session);
   Reply stats();
+  Reply metrics();
   Reply shutdown_server();
   Reply wirelength(const std::string& session, const std::string& fingerprint,
                    std::vector<std::vector<PointF>> pin_sets);

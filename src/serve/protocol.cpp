@@ -19,6 +19,7 @@ constexpr TypeName kTypeNames[] = {
     {RequestType::kShutdown, "shutdown"}, {RequestType::kSta, "sta"},
     {RequestType::kSignoff, "signoff"}, {RequestType::kWhatIf, "whatif"},
     {RequestType::kRefine, "refine"},   {RequestType::kWirelength, "wirelength"},
+    {RequestType::kMetrics, "metrics"},
 };
 
 bool needs_session(RequestType type) {
@@ -148,6 +149,18 @@ std::optional<Request> parse_request(const std::string& payload, std::string* er
   if (!known) {
     fail(error, "unknown request type '" + type->str + "'");
     return std::nullopt;
+  }
+
+  if (const obs::JsonValue* trace = doc->find("trace")) {
+    if (!trace->is_string() || trace->str.empty()) {
+      fail(error, "field 'trace' must be a non-empty string");
+      return std::nullopt;
+    }
+    if (trace->str.size() > 128) {
+      fail(error, "field 'trace' is capped at 128 characters");
+      return std::nullopt;
+    }
+    req.trace = trace->str;
   }
 
   if (req.type == RequestType::kOpen) {
@@ -286,6 +299,7 @@ std::string encode_request(const Request& request) {
   b.field_u64("v", static_cast<std::uint64_t>(kSchemaVersion));
   b.field_u64("id", request.id);
   b.field_str("type", request_type_name(request.type));
+  if (!request.trace.empty()) b.field_str("trace", request.trace);
   if (!request.snapshot.empty()) b.field_str("snapshot", request.snapshot);
   if (!request.session.empty()) b.field_str("session", request.session);
   if (!request.fingerprint.empty()) b.field_str("fingerprint", request.fingerprint);
@@ -333,11 +347,12 @@ std::string encode_request(const Request& request) {
   return b.take();
 }
 
-std::string encode_error(std::uint64_t id, const std::string& message) {
+std::string encode_error(std::uint64_t id, const std::string& message, std::uint64_t req) {
   JsonBuilder b;
   b.field_u64("v", static_cast<std::uint64_t>(kSchemaVersion));
   b.field_u64("id", id);
   b.field_bool("ok", false);
+  if (req != 0) b.field_u64("req", req);
   b.field_str("error", message);
   return b.take();
 }

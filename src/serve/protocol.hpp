@@ -41,7 +41,11 @@ enum class RequestType {
   kWhatIf,    ///< move Steiner trees, incremental sign-off probe
   kRefine,    ///< run the paper's refinement loop on the working forest
   kWirelength,  ///< batched-construction wirelength estimates for raw pin sets
+  kMetrics,   ///< live metrics-registry snapshot (name-sorted, deterministic)
 };
+
+/// Number of RequestType values (dense 0..N-1, usable as an array index).
+inline constexpr std::size_t kNumRequestTypes = 11;
 
 const char* request_type_name(RequestType type);
 
@@ -54,6 +58,10 @@ struct WhatIfMove {
 struct Request {
   RequestType type = RequestType::kPing;
   std::uint64_t id = 0;
+  /// Optional client trace tag: echoed in responses/progress frames and
+  /// attached to the request's serve spans. Absent (empty) keeps the wire
+  /// bytes byte-identical to pre-telemetry clients.
+  std::string trace;
   std::string session;      ///< session ops
   std::string fingerprint;  ///< hex snapshot fingerprint, session ops
   std::string snapshot;     ///< open: path to a .tsdb snapshot
@@ -78,8 +86,10 @@ std::optional<Request> parse_request(const std::string& payload, std::string* er
 /// Client-side encoder (always emits _bits for move coordinates).
 std::string encode_request(const Request& request);
 
-/// {"v":1,"id":N,"ok":false,"error":...} — the kError frame payload.
-std::string encode_error(std::uint64_t id, const std::string& message);
+/// {"v":1,"id":N,"ok":false,["req":N,]"error":...} — the kError frame
+/// payload. `req` (the server-side request id) is emitted only when non-zero,
+/// so pre-parse errors keep the historical bytes.
+std::string encode_error(std::uint64_t id, const std::string& message, std::uint64_t req = 0);
 
 /// 16 uppercase hex digits of the IEEE-754 bit pattern.
 std::string double_bits_hex(double value);

@@ -92,6 +92,15 @@ class Server {
   struct Pending {
     std::shared_ptr<Connection> conn;
     Request request;
+    /// Server-side request id: assigned in arrival order to every well-formed
+    /// request, echoed as "req" in responses/progress frames and attached to
+    /// the request's serve spans. Deterministic under sequential traffic.
+    std::uint64_t uid = 0;
+    /// Tracer-clock timestamps, captured only while request timing is armed
+    /// (tracing, metrics, or the slow-request log); 0 otherwise so the fully
+    /// disabled path never reads the clock.
+    std::uint64_t recv_ns = 0;     ///< before the request payload was parsed
+    std::uint64_t enqueue_ns = 0;  ///< when the request entered the queue
   };
 
   void accept_loop();
@@ -100,9 +109,9 @@ class Server {
   std::vector<Pending> take_batch();  ///< head-of-line selection under mu_
   void execute(const Pending& pending);
   void send_frame(const std::shared_ptr<Connection>& conn, FrameKind kind,
-                  const std::string& payload);
+                  const std::string& payload, std::uint64_t req = 0);
   void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t id,
-                  const std::string& message);
+                  const std::string& message, std::uint64_t req = 0);
   void close_all_connections();
 
   void handle_ping(const Pending& p);
@@ -115,6 +124,7 @@ class Server {
   void handle_whatif(const Pending& p);
   void handle_refine(const Pending& p);
   void handle_wirelength(const Pending& p);
+  void handle_metrics(const Pending& p);
 
   ServeOptions options_;
   SessionManager sessions_;
@@ -134,6 +144,7 @@ class Server {
   std::size_t in_flight_ = 0;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::uint64_t next_connection_ = 1;
+  std::uint64_t next_request_ = 1;  ///< request uid allocator (under mu_)
   ServerStats stats_;
 };
 

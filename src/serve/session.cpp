@@ -9,6 +9,7 @@
 #include "db/container.hpp"
 #include "db/crc32.hpp"
 #include "gnn/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -270,6 +271,8 @@ std::shared_ptr<LoadedDesign> SessionManager::acquire_design(const std::string& 
       cache_.erase(cache_.begin() + static_cast<long>(i));
       cache_.insert(cache_.begin(), hit);  // move to MRU
       ++stats_.cache_hits;
+      static obs::Counter& hits = obs::metrics().counter("serve.cache_hit");
+      hits.add();
       return hit;
     }
     // Same path, different bytes: drop the stale entry and reload.
@@ -282,6 +285,8 @@ std::shared_ptr<LoadedDesign> SessionManager::acquire_design(const std::string& 
   auto loaded = load_session_design(path, options_.flow, error);
   if (loaded == nullptr) return nullptr;
   ++stats_.loads;
+  static obs::Counter& misses = obs::metrics().counter("serve.cache_miss");
+  misses.add();
   cache_.insert(cache_.begin(), loaded);
   evict_over_budget();
   return loaded;
@@ -298,6 +303,8 @@ void SessionManager::evict_over_budget() {
                cache_.back()->approx_bytes);
     cache_.pop_back();
     ++stats_.evictions;
+    static obs::Counter& evictions = obs::metrics().counter("serve.cache_eviction");
+    evictions.add();
   }
 }
 
@@ -329,6 +336,35 @@ std::shared_ptr<Session> SessionManager::find(const std::string& id,
   }
   fail(error, "no such session '" + id + "'");
   return nullptr;
+}
+
+std::shared_ptr<Session> SessionManager::peek(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->id == id) return session;
+  }
+  return nullptr;
+}
+
+std::vector<SessionManager::SessionTelemetry> SessionManager::session_telemetry() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions = sessions_;
+  }
+  std::vector<SessionTelemetry> out;
+  out.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    SessionTelemetry t;
+    t.id = session->id;
+    std::lock_guard<std::mutex> lk(session->telem.mu);
+    t.requests = session->telem.requests;
+    t.timed = session->telem.timed;
+    t.latency_ms_sum = session->telem.latency_ms_sum;
+    t.latency_ms_max = session->telem.latency_ms_max;
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 bool SessionManager::close(const std::string& id) {

@@ -77,6 +77,19 @@ struct Session {
   /// Lazily constructed on the first sta/signoff/whatif; reset after a refine
   /// commit so the next probe re-establishes full-sign-off state.
   std::unique_ptr<IncrementalSignoff> signoff;
+
+  /// Per-session serve telemetry, surfaced by the `stats` op. Request counts
+  /// update always (no clock cost); latency aggregates accumulate only while
+  /// the server is capturing request timing (metrics/trace/slow-log armed),
+  /// so a fully disabled server never reads the clock for them.
+  struct Telemetry {
+    std::mutex mu;
+    std::uint64_t requests = 0;
+    std::uint64_t timed = 0;  ///< requests with a latency sample
+    double latency_ms_sum = 0.0;
+    double latency_ms_max = 0.0;
+  };
+  Telemetry telem;
 };
 
 struct SessionManagerStats {
@@ -109,6 +122,20 @@ class SessionManager {
   /// snapshot the session was opened on (stale-client rejection).
   std::shared_ptr<Session> find(const std::string& id, const std::string& fingerprint,
                                 std::string* error);
+
+  /// Fingerprint-free lookup for telemetry bookkeeping (null when the
+  /// session does not exist / was closed). Never use for request dispatch.
+  std::shared_ptr<Session> peek(const std::string& id) const;
+
+  /// Per-session telemetry snapshot for the `stats` op, in open order.
+  struct SessionTelemetry {
+    std::string id;
+    std::uint64_t requests = 0;
+    std::uint64_t timed = 0;
+    double latency_ms_sum = 0.0;
+    double latency_ms_max = 0.0;
+  };
+  std::vector<SessionTelemetry> session_telemetry() const;
 
   bool close(const std::string& id);
   SessionManagerStats stats() const;

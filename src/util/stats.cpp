@@ -85,4 +85,29 @@ double Histogram::bucket_center(std::size_t i) const {
   return lo + (static_cast<double>(i) + 0.5) * w;
 }
 
+double Histogram::bucket_edge(std::size_t i) const {
+  const double w = (hi - lo) / static_cast<double>(counts.size());
+  return i == counts.size() ? hi : lo + static_cast<double>(i) * w;
+}
+
+double Histogram::percentile(double q) const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  // Target rank in [0, n): the same nearest-rank-with-interpolation scheme as
+  // the sample-based percentile() above, applied to the cumulative counts.
+  const double pos = std::clamp(q, 0.0, 100.0) / 100.0 * static_cast<double>(n - 1);
+  const double target = pos + 0.5;  // rank measured in "samples from the left"
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target) {
+      const double frac = (target - before) / static_cast<double>(counts[i]);
+      return bucket_edge(i) + frac * (bucket_edge(i + 1) - bucket_edge(i));
+    }
+  }
+  return hi;
+}
+
 }  // namespace tsteiner

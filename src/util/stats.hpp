@@ -35,6 +35,16 @@ struct Histogram {
   std::size_t total() const;
   /// Midpoint of bucket i.
   double bucket_center(std::size_t i) const;
+  /// Lower/upper edge of bucket i (bucket_edge(counts.size()) == hi).
+  double bucket_edge(std::size_t i) const;
+  /// Rank-interpolated percentile over the bucket counts, q in [0, 100].
+  /// Assumes samples are uniformly distributed within each bucket; exact in
+  /// the sense of being a pure deterministic function of the bucket counts.
+  /// Returns 0.0 on an empty histogram.
+  double percentile(double q) const;
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
 };
 
 }  // namespace tsteiner

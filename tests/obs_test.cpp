@@ -188,6 +188,106 @@ TEST(Trace, DisabledSpansAllocateNothingAndRecordNothing) {
   EXPECT_EQ(obs::trace_event_count(), 0u);
 }
 
+TEST(Trace, EmitSpanCarriesReqAndTagArgsAndAsyncPairs) {
+  const std::string path = testutil::test_tmp_dir() + "/trace_req.json";
+  obs::reset_trace();
+  obs::enable_trace(path);
+  const std::uint64_t t0 = obs::trace_clock_ns();
+  const std::uint64_t t1 = t0 + 1500;
+  const std::string tag = "client-tag";
+  obs::emit_span("serve.decode", "serve", t0, t1, /*req=*/7, &tag);
+  obs::emit_async_span("serve.queue_wait", "serve", t0, t1, /*req=*/7);
+  {
+    TS_TRACE_SPAN_REQ("serve.handle.ping", "serve", 7);
+  }
+  {
+    obs::TraceSpan span("serve.handle.sta", "serve");
+    span.set_req(9);
+    span.set_tag(tag);
+  }
+  obs::disable_trace();
+
+  const auto doc = obs::parse_json(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* events = doc->find_array("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t with_req = 0, with_tag = 0, begins = 0, ends = 0;
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* ph = e.find_string("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "b" || ph->str == "e") {
+      const obs::JsonValue* id = e.find_string("id");
+      ASSERT_NE(id, nullptr);
+      EXPECT_EQ(id->str, "r7");
+      (ph->str == "b" ? begins : ends) += 1;
+      continue;
+    }
+    if (ph->str != "X") continue;
+    const obs::JsonValue* args = e.find_object("args");
+    if (args == nullptr) continue;
+    if (args->find_number("req") != nullptr) ++with_req;
+    const obs::JsonValue* t = args->find_string("tag");
+    if (t != nullptr) {
+      EXPECT_EQ(t->str, "client-tag");
+      ++with_tag;
+    }
+  }
+  EXPECT_EQ(with_req, 3u);  // emit_span + TS_TRACE_SPAN_REQ + set_req
+  EXPECT_EQ(with_tag, 2u);  // emit_span tag + set_tag
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  obs::reset_trace();
+}
+
+TEST(Trace, DisabledRequestSpansAllocateNothing) {
+  obs::reset_trace();  // no path, tracing off
+  { TS_TRACE_SPAN("warmup"); }
+  const std::string tag = "tag";  // built before counting: the span must not copy it
+  const std::uint64_t before = g_news.load();
+  for (int i = 0; i < 1000; ++i) {
+    TS_TRACE_SPAN_REQ("disabled", "serve", 42);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    obs::TraceSpan span("disabled", "serve");
+    span.set_req(42);
+    span.set_tag(tag);
+  }
+  obs::emit_span("disabled", "serve", 0, 1, 42, &tag);
+  obs::emit_async_span("disabled", "serve", 0, 1, 42);
+  EXPECT_EQ(g_news.load(), before) << "disabled request-span path allocated";
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Metrics, HistogramPercentilesAndSnapshotEdges) {
+  obs::set_metrics_enabled(true);
+  obs::HistogramMetric& h = obs::metrics().histogram("pct.h", 0.0, 10.0, 5);
+  h.reset();
+  for (double x : {1.0, 3.0, 5.0, 7.0}) h.observe(x);
+  // Rank interpolation: pos = q/100*(n-1), target = pos + 0.5, linear within
+  // the bucket — the four samples sit at their buckets' midpoints.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.p99(), h.percentile(99.0));
+
+  const auto doc = obs::parse_json(obs::metrics().to_json());
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* hist = doc->find_object("histograms")->find_object("pct.h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->number_or("count", 0.0), 4.0);
+  EXPECT_EQ(hist->number_or("p50", 0.0), 4.0);
+  ASSERT_NE(hist->find_number("p90"), nullptr);
+  ASSERT_NE(hist->find_number("p99"), nullptr);
+  const obs::JsonValue* edges = hist->find_array("edges");
+  ASSERT_NE(edges, nullptr);
+  ASSERT_EQ(edges->array.size(), 6u);  // bins + 1
+  EXPECT_DOUBLE_EQ(edges->array.front().number, 0.0);
+  EXPECT_DOUBLE_EQ(edges->array.back().number, 10.0);
+  for (std::size_t i = 1; i < edges->array.size(); ++i) {
+    EXPECT_GT(edges->array[i].number, edges->array[i - 1].number);
+  }
+  h.reset();
+  obs::set_metrics_enabled(false);
+}
+
 TEST(Metrics, DisabledCounterAllocatesNothing) {
   obs::set_metrics_enabled(false);
   obs::Counter& c = obs::metrics().counter("test.disabled_counter");

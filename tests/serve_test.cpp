@@ -12,12 +12,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "flow/flow.hpp"
 #include "flow/incremental_signoff.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/framing.hpp"
 #include "serve/ops.hpp"
@@ -25,6 +31,7 @@
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "tsteiner/refine.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "verify/case_gen.hpp"
 
@@ -877,6 +884,251 @@ TEST(Server, GracefulDrainFinishesQueuedRequests) {
   // connection attempt must fail once the listener is gone.
   serve::ServeClient late;
   EXPECT_FALSE(late.connect_tcp(server.bound_tcp_port(), &error));
+}
+
+// --- serve telemetry --------------------------------------------------------
+
+TEST(Protocol, TraceTagRoundTripAndStrictness) {
+  serve::Request in;
+  in.type = serve::RequestType::kPing;
+  in.id = 4;
+  in.trace = "abc-123";
+  std::string error;
+  const auto tagged = serve::parse_request(serve::encode_request(in), &error);
+  ASSERT_TRUE(tagged.has_value()) << error;
+  EXPECT_EQ(tagged->trace, "abc-123");
+
+  // Absent tag: the encoder omits the field entirely, so untagged requests
+  // are byte-identical to the pre-telemetry wire format.
+  in.trace.clear();
+  const std::string encoded = serve::encode_request(in);
+  EXPECT_EQ(encoded.find("trace"), std::string::npos);
+  const auto untagged = serve::parse_request(encoded, &error);
+  ASSERT_TRUE(untagged.has_value()) << error;
+  EXPECT_TRUE(untagged->trace.empty());
+
+  // Strict parse: wrong type, empty string, and oversize are rejected.
+  EXPECT_FALSE(
+      serve::parse_request("{\"v\":1,\"id\":1,\"type\":\"ping\",\"trace\":7}", &error)
+          .has_value());
+  EXPECT_NE(error.find("trace"), std::string::npos) << error;
+  EXPECT_FALSE(
+      serve::parse_request("{\"v\":1,\"id\":1,\"type\":\"ping\",\"trace\":\"\"}", &error)
+          .has_value());
+  const std::string oversize(200, 'x');
+  EXPECT_FALSE(serve::parse_request(
+                   "{\"v\":1,\"id\":1,\"type\":\"ping\",\"trace\":\"" + oversize + "\"}",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("128"), std::string::npos) << error;
+}
+
+TEST(Protocol, MetricsOpRoundTripNeedsNoSession) {
+  serve::Request in;
+  in.type = serve::RequestType::kMetrics;
+  in.id = 6;
+  std::string error;
+  const auto out = serve::parse_request(serve::encode_request(in), &error);
+  ASSERT_TRUE(out.has_value()) << error;
+  EXPECT_EQ(out->type, serve::RequestType::kMetrics);
+  EXPECT_TRUE(
+      serve::parse_request("{\"v\":1,\"id\":1,\"type\":\"metrics\"}", &error).has_value())
+      << error;
+}
+
+TEST(Server, EveryResponseEchoesTheServerRequestId) {
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  // Sequential traffic on a fresh server: uids count up from 1 regardless of
+  // the obs mode (the echo must not depend on instrumentation).
+  const auto first = client.ping();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.body.number_or("req", 0.0), 1.0);
+  const auto second = client.stats();
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.body.number_or("req", 0.0), 2.0);
+  // Post-parse errors echo it too (the request was assigned a uid).
+  serve::Request bad;
+  bad.type = serve::RequestType::kSta;
+  bad.session = "nope";
+  bad.fingerprint = "FFFFFFFF";
+  const auto failed = client.call(bad);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.body.number_or("req", 0.0), 3.0);
+  server.stop();
+}
+
+TEST(Server, MetricsOpReturnsSchemaConsistentSnapshot) {
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+  const auto reply = client.metrics();
+  ASSERT_TRUE(reply.ok) << reply.error;
+  const obs::JsonValue* enabled = reply.body.find("metrics_enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->is_bool());
+  const obs::JsonValue* metrics = reply.body.find_object("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find_object("counters"), nullptr);
+  ASSERT_NE(metrics->find_object("gauges"), nullptr);
+  const obs::JsonValue* hists = metrics->find_object("histograms");
+  ASSERT_NE(hists, nullptr);
+  // Eager registration: the per-op latency histograms exist (zero-count)
+  // before any traffic, so the snapshot layout is traffic-independent.
+  const obs::JsonValue* ping_hist = hists->find_object("serve.latency_ms.ping");
+  ASSERT_NE(ping_hist, nullptr);
+  const obs::JsonValue* edges = ping_hist->find_array("edges");
+  ASSERT_NE(edges, nullptr);
+  const obs::JsonValue* buckets = ping_hist->find_array("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(edges->array.size(), buckets->array.size() + 1);
+  ASSERT_NE(hists->find_object("serve.queue_wait_ms.metrics"), nullptr);
+  server.stop();
+}
+
+/// Minimal span view for the serve-trace tests (async "b"/"e" events are
+/// validated separately; only "X" spans participate in lane nesting).
+struct TestSpan {
+  std::string name, cat;
+  double ts = 0.0, dur = 0.0;
+  long long tid = 0;
+  double req = 0.0;
+};
+
+void collect_serve_trace(const std::string& path, std::vector<TestSpan>* spans,
+                         int* async_begins, int* async_ends) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto doc = obs::parse_json(text.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const obs::JsonValue* events = doc->find_array("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* ph = e.find_string("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") continue;
+    if (ph->str == "b" || ph->str == "e") {
+      ASSERT_NE(e.find_string("id"), nullptr);
+      (ph->str == "b" ? *async_begins : *async_ends) += 1;
+      continue;
+    }
+    ASSERT_EQ(ph->str, "X");
+    const obs::JsonValue* cat = e.find_string("cat");
+    const obs::JsonValue* args = e.find_object("args");
+    const obs::JsonValue* req =
+        args != nullptr ? args->find_number("req") : nullptr;
+    spans->push_back({e.find_string("name")->str, cat != nullptr ? cat->str : "",
+                      e.find_number("ts")->number, e.find_number("dur")->number,
+                      static_cast<long long>(e.find_number("tid")->number),
+                      req != nullptr ? req->number : 0.0});
+  }
+}
+
+void run_serve_trace_workload(int width) {
+  const std::string snap =
+      write_snapshot(31 + static_cast<std::uint64_t>(width), "trace_wl.tsdb");
+  const std::string path =
+      temp_path(("serve_trace_w" + std::to_string(width) + ".json").c_str());
+  set_parallel_threads(width);
+  obs::reset_trace();
+  obs::enable_trace(path);
+  {
+    serve::ServeOptions opts;
+    opts.tcp_port = 0;
+    serve::Server server(opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    serve::ServeClient client;
+    ASSERT_TRUE(client.connect_tcp(server.bound_tcp_port(), &error)) << error;
+    ASSERT_TRUE(client.ping().ok);
+    const auto opened = client.open(snap);
+    ASSERT_TRUE(opened.ok) << opened.error;
+    serve::Request sta;
+    sta.type = serve::RequestType::kSta;
+    sta.session = opened.body.find_string("session")->str;
+    sta.fingerprint = opened.body.find_string("fingerprint")->str;
+    sta.trace = "tag-w" + std::to_string(width);
+    ASSERT_TRUE(client.call(sta).ok);
+    ASSERT_TRUE(client.close_session(sta.session).ok);
+    server.stop();
+  }
+  obs::disable_trace();
+  set_parallel_threads(0);
+
+  std::vector<TestSpan> spans;
+  int async_begins = 0, async_ends = 0;
+  ASSERT_NO_FATAL_FAILURE(collect_serve_trace(path, &spans, &async_begins, &async_ends));
+  EXPECT_EQ(async_begins, 4);  // one queue-wait pair per request
+  EXPECT_EQ(async_ends, 4);
+
+  std::size_t serve_count = 0, handle_count = 0;
+  bool tagged_sta = false, joined_sta = false;
+  for (const TestSpan& s : spans) {
+    if (s.cat != "serve") continue;
+    ++serve_count;
+    if (s.name == "serve.dispatch_batch") continue;
+    EXPECT_GE(s.req, 1.0) << s.name << " lacks a request id";
+    if (s.name.rfind("serve.handle.", 0) == 0) ++handle_count;
+    if (s.name == "serve.handle.sta") {
+      tagged_sta = true;
+      // Request-id join: the sta handler's span encloses flow/sta work on
+      // the same lane.
+      for (const TestSpan& inner : spans) {
+        if (inner.cat != "serve" && inner.tid == s.tid && inner.ts >= s.ts - 0.002 &&
+            inner.ts + inner.dur <= s.ts + s.dur + 0.002) {
+          joined_sta = true;
+        }
+      }
+    }
+  }
+  EXPECT_GE(serve_count, 12u);  // 4 requests x (decode/handle/encode/write)
+  EXPECT_EQ(handle_count, 4u);
+  EXPECT_TRUE(tagged_sta);
+  EXPECT_TRUE(joined_sta);
+
+  // Scoped spans must still nest per lane with async queue waits excluded.
+  std::stable_sort(spans.begin(), spans.end(), [](const TestSpan& a, const TestSpan& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.dur > b.dur;
+  });
+  std::vector<TestSpan> stack;
+  long long lane = -1;
+  const double slop = 0.002;
+  for (const TestSpan& s : spans) {
+    if (s.tid != lane) {
+      lane = s.tid;
+      stack.clear();
+    }
+    while (!stack.empty() && s.ts >= stack.back().ts + stack.back().dur - slop) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      EXPECT_LE(s.ts + s.dur, stack.back().ts + stack.back().dur + slop)
+          << s.name << " does not nest inside " << stack.back().name;
+    }
+    stack.push_back(s);
+  }
+  obs::reset_trace();
+}
+
+TEST(Server, ServeSpansNestAndCarryRequestIdsAtWidthOne) {
+  ASSERT_NO_FATAL_FAILURE(run_serve_trace_workload(1));
+}
+
+TEST(Server, ServeSpansNestAndCarryRequestIdsAtWidthFour) {
+  ASSERT_NO_FATAL_FAILURE(run_serve_trace_workload(4));
 }
 
 }  // namespace

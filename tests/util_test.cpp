@@ -163,6 +163,35 @@ TEST(Stats, HistogramBuckets) {
   EXPECT_DOUBLE_EQ(h.bucket_center(0), 0.125);
 }
 
+TEST(Stats, HistogramBucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_edge(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_edge(5), 10.0);  // upper edge of the last bucket
+}
+
+TEST(Stats, HistogramPercentile) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);  // empty histogram
+  h.add(5.0);  // lone sample: every percentile is its bucket's midpoint
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
+  for (double x : {1.0, 3.0, 7.0}) h.add(x);
+  // Four samples at bucket midpoints 1/3/5/7: rank interpolation lands the
+  // median on the shared edge of the two middle buckets.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.p50(), h.percentile(50.0));
+  EXPECT_LE(h.percentile(99.0), 8.0);  // within the top occupied bucket
+  EXPECT_GE(h.percentile(99.0), 6.0);
+  // Monotone in q.
+  double prev = -1.0;
+  for (double q = 0.0; q <= 100.0; q += 5.0) {
+    EXPECT_GE(h.percentile(q), prev);
+    prev = h.percentile(q);
+  }
+}
+
 TEST(Table, RendersAlignedRows) {
   Table t({"name", "value"});
   t.add_row({"a", Table::num(1.5, 2)});

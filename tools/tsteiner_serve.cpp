@@ -27,6 +27,8 @@
 #include "flow/flow.hpp"
 #include "flow/incremental_signoff.hpp"
 #include "gnn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/ops.hpp"
 #include "serve/server.hpp"
@@ -46,7 +48,7 @@ int usage(const char* argv0) {
                "  serve [--port N | --socket PATH] [--budget-mb N]\n"
                "  client (--connect tcp:PORT|unix:PATH) --script FILE\n"
                "  selftest [--sessions N] [--threads N] [--snapshots N] [--seed S]\n"
-               "           [--rounds N] [--keep-dir DIR]\n",
+               "           [--rounds N] [--keep-dir DIR] [--obs-gate DIR]\n",
                argv0);
   return 2;
 }
@@ -348,13 +350,220 @@ SessionResult run_session_direct(const SessionPlan& plan, const FlowOptions& flo
   return out;
 }
 
+// --- selftest --obs-gate: telemetry must never change response bytes --------
+
+/// One deterministic traffic run against a fresh in-process server: every op
+/// once, single sequential client (request ids and server uids are then a
+/// pure function of the script, independent of obs mode).
+struct ObsTraffic {
+  std::vector<std::pair<std::string, std::string>> responses;  ///< op -> payload bytes
+  std::vector<std::string> progress_scrubbed;  ///< refine frames minus wall_s
+  std::string metrics_raw;                     ///< metrics-op response payload
+  std::string error;
+};
+
+/// Remove one `"key":value` member from a JSON object's raw bytes (the
+/// refine progress wall_s field is the only wall-clock-dependent member of
+/// an otherwise deterministic frame).
+std::string scrub_json_field(std::string s, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = s.find(needle);
+  if (at == std::string::npos) return s;
+  std::size_t end = at + needle.size();
+  while (end < s.size() && s[end] != ',' && s[end] != '}') ++end;
+  std::size_t begin = at;
+  if (begin > 0 && s[begin - 1] == ',') {
+    --begin;
+  } else if (end < s.size() && s[end] == ',') {
+    ++end;
+  }
+  return s.erase(begin, end - begin);
+}
+
+ObsTraffic run_obs_traffic(int port, const std::string& snap,
+                           const std::vector<serve::WhatIfMove>& moves) {
+  ObsTraffic out;
+  serve::ServeClient client;
+  std::string error;
+  if (!client.connect_tcp(port, &error)) {
+    out.error = "connect: " + error;
+    return out;
+  }
+  const auto push = [&out](const char* label, const serve::ServeClient::Reply& r) {
+    if (!r.ok) {
+      out.error = std::string(label) + ": " + r.error;
+      return false;
+    }
+    out.responses.emplace_back(label, r.raw);
+    return true;
+  };
+  if (!push("ping", client.ping())) return out;
+  const auto opened = client.open(snap);
+  if (!push("open", opened)) return out;
+  const obs::JsonValue* session = opened.body.find_string("session");
+  const obs::JsonValue* fingerprint = opened.body.find_string("fingerprint");
+  if (session == nullptr || fingerprint == nullptr) {
+    out.error = "open response lacks session/fingerprint";
+    return out;
+  }
+  serve::Request base;
+  base.session = session->str;
+  base.fingerprint = fingerprint->str;
+
+  serve::Request sta = base;
+  sta.type = serve::RequestType::kSta;
+  if (!push("sta", client.call(sta))) return out;
+
+  serve::Request whatif = base;
+  whatif.type = serve::RequestType::kWhatIf;
+  whatif.moves = moves;
+  if (!push("whatif", client.call(whatif))) return out;
+
+  serve::Request signoff = base;
+  signoff.type = serve::RequestType::kSignoff;
+  if (!push("signoff", client.call(signoff))) return out;
+
+  serve::Request refine = base;
+  refine.type = serve::RequestType::kRefine;
+  refine.iterations = 2;
+  const auto refined = client.call(refine);
+  if (!push("refine", refined)) return out;
+  for (const std::string& frame : refined.progress_raw) {
+    out.progress_scrubbed.push_back(scrub_json_field(frame, "wall_s"));
+  }
+
+  if (!push("wirelength",
+            client.wirelength(base.session, base.fingerprint,
+                              {{{1000.0, 1000.0}, {8000.0, 3000.0}, {4000.0, 9000.0}}}))) {
+    return out;
+  }
+
+  // stats and metrics responses legitimately vary with the obs mode (latency
+  // aggregates, instrument values): ok-checked, excluded from the byte gate.
+  const auto stats = client.stats();
+  if (!stats.ok) {
+    out.error = "stats: " + stats.error;
+    return out;
+  }
+  const auto metrics = client.metrics();
+  if (!metrics.ok) {
+    out.error = "metrics: " + metrics.error;
+    return out;
+  }
+  out.metrics_raw = metrics.raw;
+  if (!push("close", client.close_session(base.session))) return out;
+  return out;
+}
+
+/// Run the deterministic script under off / metrics-only / full obs modes
+/// plus a metrics-determinism rerun; gate that every response (and every
+/// progress frame, minus wall_s) is byte-identical across modes, and write
+/// the trace + two metrics snapshots for `tsteiner_trace serve`.
+int run_obs_gate(const std::string& dir, std::uint64_t seed) {
+  std::system(("mkdir -p " + dir).c_str());
+  const std::string snap = dir + "/obs_design.tsdb";
+  if (!write_snapshot(seed, "tiny", /*with_model=*/true, snap)) {
+    std::fprintf(stderr, "obs-gate: cannot write snapshot %s\n", snap.c_str());
+    return 1;
+  }
+  std::string error;
+  auto loaded = serve::load_session_design(snap, FlowOptions{}, &error);
+  if (loaded == nullptr) {
+    std::fprintf(stderr, "obs-gate: restore failed: %s\n", error.c_str());
+    return 1;
+  }
+  const double dist = static_cast<double>(loaded->design->die().width()) / 20.0;
+  const auto rounds =
+      plan_rounds(*loaded->design, loaded->flow->initial_forest(), seed, 0, 1, dist);
+  loaded.reset();
+  if (rounds.empty()) {
+    std::fprintf(stderr, "obs-gate: snapshot has no movable nets\n");
+    return 1;
+  }
+
+  const auto run_mode = [&](bool metrics_on, const char* trace_path) -> ObsTraffic {
+    obs::reset_trace();
+    if (trace_path != nullptr) obs::enable_trace(trace_path);
+    obs::set_metrics_enabled(metrics_on);
+    obs::metrics().reset_values();
+    serve::ServeOptions so;
+    so.tcp_port = 0;
+    serve::Server server(so);
+    std::string err;
+    ObsTraffic t;
+    if (!server.start(&err)) {
+      t.error = "server start: " + err;
+      return t;
+    }
+    t = run_obs_traffic(server.bound_tcp_port(), snap, rounds[0]);
+    server.stop();
+    if (trace_path != nullptr) obs::disable_trace();  // flushes the file
+    return t;
+  };
+
+  const std::string trace_path = dir + "/serve_trace.json";
+  const ObsTraffic off = run_mode(false, nullptr);
+  const ObsTraffic metrics_only = run_mode(true, nullptr);
+  const ObsTraffic full = run_mode(true, trace_path.c_str());
+  const ObsTraffic rerun = run_mode(true, nullptr);  // metrics determinism
+  obs::set_metrics_enabled(false);
+  for (const auto* t : {&off, &metrics_only, &full, &rerun}) {
+    if (!t->error.empty()) {
+      std::fprintf(stderr, "obs-gate: traffic failed: %s\n", t->error.c_str());
+      return 1;
+    }
+  }
+
+  int failures = 0;
+  const auto compare = [&failures](const char* mode, const ObsTraffic& a,
+                                   const ObsTraffic& b) {
+    if (a.responses.size() != b.responses.size()) {
+      std::fprintf(stderr, "obs-gate: %s ran %zu ops vs %zu baseline\n", mode,
+                   b.responses.size(), a.responses.size());
+      ++failures;
+      return;
+    }
+    for (std::size_t i = 0; i < a.responses.size(); ++i) {
+      if (a.responses[i].second != b.responses[i].second) {
+        std::fprintf(stderr, "obs-gate: op \"%s\" response differs under %s\n",
+                     a.responses[i].first.c_str(), mode);
+        ++failures;
+      }
+    }
+    if (a.progress_scrubbed != b.progress_scrubbed) {
+      std::fprintf(stderr, "obs-gate: refine progress frames differ under %s\n", mode);
+      ++failures;
+    }
+  };
+  compare("metrics-only", off, metrics_only);
+  compare("full trace+metrics", off, full);
+
+  const auto write_text = [](const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  };
+  if (!write_text(dir + "/metrics_a.json", full.metrics_raw) ||
+      !write_text(dir + "/metrics_b.json", rerun.metrics_raw)) {
+    std::fprintf(stderr, "obs-gate: cannot write metrics snapshots under %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("obs-gate: %d failure(s); artifacts: %s, %s/metrics_a.json, %s/metrics_b.json\n",
+              failures, trace_path.c_str(), dir.c_str(), dir.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_selftest(int argc, char** argv) {
   int sessions = 8, threads = 4, num_snapshots = 2, rounds = 2;
   std::uint64_t seed = 7;
   std::string dir = "tsteiner_serve_selftest";
+  std::string obs_dir;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--sessions") {
+    if (arg == "--obs-gate") {
+      obs_dir = flag_value(argc, argv, &i, "--obs-gate");
+    } else if (arg == "--sessions") {
       sessions = std::atoi(flag_value(argc, argv, &i, "--sessions"));
     } else if (arg == "--threads") {
       threads = std::atoi(flag_value(argc, argv, &i, "--threads"));
@@ -371,6 +580,7 @@ int cmd_selftest(int argc, char** argv) {
     }
   }
   if (sessions < 1 || threads < 1 || num_snapshots < 1 || rounds < 1) return usage(argv[0]);
+  if (!obs_dir.empty()) return run_obs_gate(obs_dir, seed);
 
   std::system(("mkdir -p " + dir).c_str());
   std::vector<std::string> snaps;

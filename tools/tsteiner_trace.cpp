@@ -4,6 +4,14 @@
 //   tsteiner_trace summarize <file>   human-readable digest
 //   tsteiner_trace verify <file>      structural + schema validation
 //   tsteiner_trace diff <a> <b>       compare two run reports' metrics/phases
+//   tsteiner_trace serve <trace> [<metrics> [<metrics-b>]]
+//                                     validate a serve-layer trace: request-id
+//                                     presence, span nesting, serve<->flow
+//                                     joins, per-op latency percentiles and
+//                                     queue-wait attribution; optionally
+//                                     schema-check a metrics-op snapshot and
+//                                     compare two snapshots' deterministic
+//                                     subset (counter values, histogram counts)
 //
 // The file kind is auto-detected: a Chrome trace-event file (TSTEINER_TRACE),
 // a run report (TSTEINER_RUN_REPORT), or a refine-iteration JSONL stream
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -76,14 +85,30 @@ int fail(const char* fmt, ...) {
 
 struct SpanView {
   std::string name;
+  std::string cat;
   double ts = 0.0;   // microseconds
   double dur = 0.0;  // microseconds
   long long tid = 0;
+  unsigned long long req = 0;  // args.req request correlation id, 0 = absent
 };
 
-/// Extract and structurally check the X events. Returns nullopt (after
-/// printing the reason) on malformed events.
-std::optional<std::vector<SpanView>> collect_spans(const JsonValue& doc) {
+/// One side of an async nestable pair ("b"/"e"), used by the serve-layer
+/// queue-wait spans: overlapping by design, exempt from lane nesting.
+struct AsyncView {
+  std::string name;
+  std::string id;  // pairing key, e.g. "r7"
+  double ts = 0.0;
+  long long tid = 0;
+  unsigned long long req = 0;
+  bool begin = false;
+};
+
+/// Extract and structurally check the trace events: scoped "X" spans are
+/// returned; async "b"/"e" pairs (the serve queue-wait spans) are collected
+/// into `async` when provided and merely validated otherwise. Returns nullopt
+/// (after printing the reason) on malformed events.
+std::optional<std::vector<SpanView>> collect_spans(const JsonValue& doc,
+                                                   std::vector<AsyncView>* async = nullptr) {
   const JsonValue* events = doc.find_array("traceEvents");
   if (events == nullptr) {
     fail("no traceEvents array");
@@ -102,6 +127,34 @@ std::optional<std::vector<SpanView>> collect_spans(const JsonValue& doc) {
       return std::nullopt;
     }
     if (ph->str == "M") continue;  // thread-name metadata
+    const auto arg_req = [&e]() -> unsigned long long {
+      const JsonValue* args = e.find_object("args");
+      const JsonValue* req = args != nullptr ? args->find_number("req") : nullptr;
+      return req != nullptr && req->number > 0.0
+                 ? static_cast<unsigned long long>(req->number)
+                 : 0ull;
+    };
+    if (ph->str == "b" || ph->str == "e") {
+      const JsonValue* name = e.find_string("name");
+      const JsonValue* id = e.find_string("id");
+      const JsonValue* ts = e.find_number("ts");
+      const JsonValue* tid = e.find_number("tid");
+      if (name == nullptr || id == nullptr || ts == nullptr || tid == nullptr ||
+          e.find_number("pid") == nullptr) {
+        fail("traceEvents[%zu] lacks name/id/ts/pid/tid", i);
+        return std::nullopt;
+      }
+      if (ts->number < 0.0) {
+        fail("traceEvents[%zu] has a negative ts", i);
+        return std::nullopt;
+      }
+      if (async != nullptr) {
+        async->push_back({name->str, id->str, ts->number,
+                          static_cast<long long>(tid->number), arg_req(),
+                          ph->str == "b"});
+      }
+      continue;
+    }
     if (ph->str != "X") {
       fail("traceEvents[%zu] has unsupported phase \"%s\"", i, ph->str.c_str());
       return std::nullopt;
@@ -119,8 +172,9 @@ std::optional<std::vector<SpanView>> collect_spans(const JsonValue& doc) {
       fail("traceEvents[%zu] has a negative ts or dur", i);
       return std::nullopt;
     }
-    spans.push_back({name->str, ts->number, dur->number,
-                     static_cast<long long>(tid->number)});
+    const JsonValue* cat = e.find_string("cat");
+    spans.push_back({name->str, cat != nullptr ? cat->str : std::string(), ts->number,
+                     dur->number, static_cast<long long>(tid->number), arg_req()});
   }
   return spans;
 }
@@ -190,6 +244,265 @@ int summarize_trace(const JsonValue& doc) {
     std::printf("%-32s %10zu %14.3f\n", name.c_str(), a.count, a.total_us / 1000.0);
   }
   return 0;
+}
+
+// --- serve traces ------------------------------------------------------------
+
+/// Ops whose handlers run a sign-off (full or incremental); their handle
+/// spans must contain at least one non-"serve" span — the request-id join
+/// proving serve spans and flow/sta/tsteiner spans share one timeline.
+bool is_signoff_bearing(const std::string& op) {
+  return op == "sta" || op == "signoff" || op == "whatif" || op == "refine";
+}
+
+struct ReqView {
+  std::size_t decode = 0, handle = 0, encode = 0, write = 0;
+  std::string op;             // suffix of the serve.handle.<op> span
+  double handle_us = 0.0;     // handler duration
+  double queue_us = -1.0;     // matched queue-wait async pair, <0 = none
+};
+
+int serve_trace_report(const JsonValue& doc) {
+  std::vector<AsyncView> async;
+  const auto spans = collect_spans(doc, &async);
+  if (!spans) return 1;
+  if (!check_nesting(*spans)) return 1;
+
+  std::map<unsigned long long, ReqView> reqs;
+  std::size_t serve_spans = 0;
+  for (const SpanView& s : *spans) {
+    if (s.cat != "serve") continue;
+    ++serve_spans;
+    // Every serve span is attributable to one request, except the
+    // batch-level dispatch span that covers many.
+    if (s.name == "serve.dispatch_batch") continue;
+    if (s.req == 0) {
+      return fail("serve span \"%s\" at ts %.3f lacks a request id (args.req)",
+                  s.name.c_str(), s.ts);
+    }
+    ReqView& r = reqs[s.req];
+    if (s.name == "serve.decode") {
+      ++r.decode;
+    } else if (s.name.rfind("serve.handle.", 0) == 0) {
+      ++r.handle;
+      r.op = s.name.substr(std::strlen("serve.handle."));
+      r.handle_us = s.dur;
+    } else if (s.name == "serve.encode") {
+      ++r.encode;
+    } else if (s.name == "serve.write") {
+      ++r.write;
+    } else {
+      return fail("unknown serve span \"%s\" (req %llu)", s.name.c_str(), s.req);
+    }
+  }
+  if (serve_spans == 0) return fail("trace contains no serve-category spans");
+
+  // Pair the async queue-wait events by id; each request has exactly one.
+  std::map<std::string, const AsyncView*> open_async;
+  for (const AsyncView& a : async) {
+    if (a.name != "serve.queue_wait") {
+      return fail("unknown async span \"%s\"", a.name.c_str());
+    }
+    if (a.begin) {
+      if (!open_async.emplace(a.id, &a).second) {
+        return fail("async id %s begins twice", a.id.c_str());
+      }
+      continue;
+    }
+    const auto it = open_async.find(a.id);
+    if (it == open_async.end()) return fail("async id %s ends without a begin", a.id.c_str());
+    const AsyncView& b = *it->second;
+    open_async.erase(it);
+    if (b.req == 0) return fail("queue-wait %s lacks a request id", a.id.c_str());
+    ReqView& r = reqs[b.req];
+    if (r.queue_us >= 0.0) return fail("request %llu has two queue-wait pairs", b.req);
+    r.queue_us = a.ts - b.ts;
+    if (r.queue_us < 0.0) return fail("queue-wait %s ends before it begins", a.id.c_str());
+  }
+  if (!open_async.empty()) {
+    return fail("async id %s never ends", open_async.begin()->first.c_str());
+  }
+
+  // Per-request shape: one decode, one handler, at least one encoded +
+  // written frame (refine also streams progress frames), one queue wait.
+  for (const auto& [req, r] : reqs) {
+    if (r.decode != 1) {
+      return fail("request %llu has %zu serve.decode spans (want 1)", req, r.decode);
+    }
+    if (r.handle != 1) {
+      return fail("request %llu has %zu serve.handle.* spans (want 1)", req, r.handle);
+    }
+    if (r.encode == 0 || r.write == 0) {
+      return fail("request %llu lacks encode/write spans (%zu/%zu)", req, r.encode, r.write);
+    }
+    if (r.queue_us < 0.0) return fail("request %llu lacks a queue-wait pair", req);
+  }
+
+  // Request-id join: a sign-off-bearing handler must enclose flow work, i.e.
+  // at least one non-serve span inside the handle span on the same lane.
+  const double slop = 0.002;  // µs, matches check_nesting
+  for (const SpanView& s : *spans) {
+    if (s.cat != "serve" || s.name.rfind("serve.handle.", 0) != 0) continue;
+    const std::string op = s.name.substr(std::strlen("serve.handle."));
+    if (!is_signoff_bearing(op)) continue;
+    bool joined = false;
+    for (const SpanView& inner : *spans) {
+      if (inner.cat == "serve" || inner.tid != s.tid) continue;
+      if (inner.ts >= s.ts - slop && inner.ts + inner.dur <= s.ts + s.dur + slop) {
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) {
+      return fail("request %llu: %s encloses no flow span (serve<->flow join broken)",
+                  s.req, s.name.c_str());
+    }
+  }
+
+  // Per-op latency and queue-wait percentiles from the per-request samples.
+  std::map<std::string, std::vector<double>> lat_by_op, queue_by_op;
+  double total_handle_us = 0.0, total_queue_us = 0.0;
+  for (const auto& [req, r] : reqs) {
+    lat_by_op[r.op].push_back(r.handle_us / 1000.0);
+    queue_by_op[r.op].push_back(r.queue_us / 1000.0);
+    total_handle_us += r.handle_us;
+    total_queue_us += r.queue_us;
+  }
+  std::printf("OK: serve trace, %zu requests, %zu serve spans, joins + nesting consistent\n\n",
+              reqs.size(), serve_spans);
+  std::printf("%-12s %7s %28s %28s\n", "", "", "handler latency ms", "queue wait ms");
+  std::printf("%-12s %7s %9s %9s %9s %9s %9s %9s\n", "op", "count", "p50", "p90", "p99",
+              "p50", "p90", "p99");
+  for (const auto& [op, lat] : lat_by_op) {
+    const std::vector<double>& queue = queue_by_op[op];
+    std::printf("%-12s %7zu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", op.c_str(), lat.size(),
+                tsteiner::percentile(lat, 50.0), tsteiner::percentile(lat, 90.0),
+                tsteiner::percentile(lat, 99.0), tsteiner::percentile(queue, 50.0),
+                tsteiner::percentile(queue, 90.0), tsteiner::percentile(queue, 99.0));
+  }
+  const double busy = total_handle_us + total_queue_us;
+  std::printf("\nqueue-wait attribution: %.3f ms waiting vs %.3f ms handling (%.1f%% of %.3f ms)\n",
+              total_queue_us / 1000.0, total_handle_us / 1000.0,
+              busy > 0.0 ? 100.0 * total_queue_us / busy : 0.0, busy / 1000.0);
+  return 0;
+}
+
+/// Schema-check one metrics-op snapshot (the "metrics" object of the
+/// response, i.e. MetricsRegistry::to_json): three sections, numeric
+/// counters/gauges, and internally consistent histograms (edges bracket
+/// [lo, hi], buckets sum to count, percentiles present).
+int validate_metrics_snapshot(const JsonValue& m, const char* path) {
+  const JsonValue* counters = m.find_object("counters");
+  const JsonValue* gauges = m.find_object("gauges");
+  const JsonValue* histograms = m.find_object("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    return fail("%s lacks counters/gauges/histograms objects", path);
+  }
+  for (const auto& [name, v] : counters->object) {
+    if (!v.is_number() || v.number < 0.0) {
+      return fail("%s: counter \"%s\" is not a non-negative number", path, name.c_str());
+    }
+  }
+  for (const auto& [name, v] : gauges->object) {
+    if (!v.is_number() && !v.is_null()) {
+      return fail("%s: gauge \"%s\" is not a number", path, name.c_str());
+    }
+  }
+  for (const auto& [name, h] : histograms->object) {
+    const JsonValue* lo = h.find_number("lo");
+    const JsonValue* hi = h.find_number("hi");
+    const JsonValue* count = h.find_number("count");
+    const JsonValue* buckets = h.find_array("buckets");
+    const JsonValue* edges = h.find_array("edges");
+    if (lo == nullptr || hi == nullptr || count == nullptr || h.find_number("sum") == nullptr ||
+        h.find_number("p50") == nullptr || h.find_number("p90") == nullptr ||
+        h.find_number("p99") == nullptr || buckets == nullptr || edges == nullptr) {
+      return fail("%s: histogram \"%s\" lacks lo/hi/count/sum/p50/p90/p99/buckets/edges",
+                  path, name.c_str());
+    }
+    if (edges->array.size() != buckets->array.size() + 1) {
+      return fail("%s: histogram \"%s\" has %zu edges for %zu buckets", path, name.c_str(),
+                  edges->array.size(), buckets->array.size());
+    }
+    double bucket_sum = 0.0;
+    for (const JsonValue& b : buckets->array) bucket_sum += b.number;
+    if (bucket_sum != count->number) {
+      return fail("%s: histogram \"%s\" buckets sum to %.0f, count says %.0f", path,
+                  name.c_str(), bucket_sum, count->number);
+    }
+    const double width = hi->number - lo->number;
+    const double tol = 1e-9 * std::max(1.0, std::fabs(width));
+    if (std::fabs(edges->array.front().number - lo->number) > tol ||
+        std::fabs(edges->array.back().number - hi->number) > tol) {
+      return fail("%s: histogram \"%s\" edges do not bracket [lo, hi]", path, name.c_str());
+    }
+    for (std::size_t i = 1; i < edges->array.size(); ++i) {
+      if (edges->array[i].number < edges->array[i - 1].number) {
+        return fail("%s: histogram \"%s\" edges are not monotone", path, name.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+/// Compare two snapshots' deterministic subset: instrument names, counter
+/// values, and histogram observation counts must match exactly. Gauges,
+/// sums and percentiles are wall-clock-dependent and deliberately excluded.
+int compare_metrics_snapshots(const JsonValue& a, const JsonValue& b, const char* path_a,
+                              const char* path_b) {
+  const auto names = [](const JsonValue& m, const char* section) {
+    std::vector<std::string> out;
+    if (const JsonValue* s = m.find_object(section)) {
+      for (const auto& [k, v] : s->object) out.push_back(k);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (names(a, section) != names(b, section)) {
+      return fail("%s and %s disagree on %s names", path_a, path_b, section);
+    }
+  }
+  const JsonValue* ca = a.find_object("counters");
+  for (const auto& [name, v] : ca->object) {
+    // Response bytes embed wall-clock digits (stats latency aggregates), so
+    // the outbound byte count is legitimately run-dependent.
+    if (name == "serve.bytes_out") continue;
+    const JsonValue* w = b.find_object("counters")->find_number(name);
+    if (w == nullptr || w->number != v.number) {
+      return fail("counter \"%s\": %.0f in %s vs %.0f in %s", name.c_str(), v.number,
+                  path_a, w != nullptr ? w->number : -1.0, path_b);
+    }
+  }
+  const JsonValue* ha = a.find_object("histograms");
+  for (const auto& [name, v] : ha->object) {
+    const JsonValue* w = b.find_object("histograms")->find_object(name);
+    const double count_a = v.number_or("count", -1.0);
+    const double count_b = w != nullptr ? w->number_or("count", -2.0) : -2.0;
+    if (count_a != count_b) {
+      return fail("histogram \"%s\": count %.0f in %s vs %.0f in %s", name.c_str(), count_a,
+                  path_a, count_b, path_b);
+    }
+  }
+  return 0;
+}
+
+/// Load a metrics snapshot file: either a raw MetricsRegistry::to_json
+/// object, or a full metrics-op response ({"metrics": {...}} wrapper).
+std::optional<JsonValue> load_metrics_snapshot(const char* path) {
+  const auto text = read_file(path);
+  if (!text) {
+    fail("cannot read %s", path);
+    return std::nullopt;
+  }
+  std::string err;
+  auto doc = parse_json(*text, &err);
+  if (!doc || !doc->is_object()) {
+    fail("%s does not parse as a JSON object (%s)", path, err.c_str());
+    return std::nullopt;
+  }
+  if (const JsonValue* inner = doc->find_object("metrics")) return *inner;
+  return doc;
 }
 
 // --- run reports -------------------------------------------------------------
@@ -447,7 +760,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tsteiner_trace summarize <file>\n"
                "       tsteiner_trace verify <file>\n"
-               "       tsteiner_trace diff <report-a> <report-b>\n");
+               "       tsteiner_trace diff <report-a> <report-b>\n"
+               "       tsteiner_trace serve <trace> [<metrics> [<metrics-b>]]\n");
   return 2;
 }
 
@@ -471,6 +785,32 @@ int main(int argc, char** argv) {
       return fail("%s is not a run report", argv[3]);
     }
     return diff_reports(*da, *db);
+  }
+
+  if (cmd == "serve") {
+    if (argc > 5) return usage();
+    const auto text = read_file(argv[2]);
+    if (!text) return fail("cannot read %s", argv[2]);
+    std::optional<JsonValue> doc;
+    if (detect_kind(*text, doc) != FileKind::kTrace) {
+      return fail("%s is not a trace-event file", argv[2]);
+    }
+    const int rc = serve_trace_report(*doc);
+    if (rc != 0) return rc;
+    if (argc < 4) return 0;
+    const auto ma = load_metrics_snapshot(argv[3]);
+    if (!ma) return 1;
+    if (const int mrc = validate_metrics_snapshot(*ma, argv[3]); mrc != 0) return mrc;
+    std::printf("OK: metrics snapshot %s is schema-consistent\n", argv[3]);
+    if (argc < 5) return 0;
+    const auto mb = load_metrics_snapshot(argv[4]);
+    if (!mb) return 1;
+    if (const int mrc = validate_metrics_snapshot(*mb, argv[4]); mrc != 0) return mrc;
+    if (const int crc = compare_metrics_snapshots(*ma, *mb, argv[3], argv[4]); crc != 0) {
+      return crc;
+    }
+    std::printf("OK: deterministic subset matches between %s and %s\n", argv[3], argv[4]);
+    return 0;
   }
 
   if (cmd != "summarize" && cmd != "verify") return usage();
